@@ -1,0 +1,161 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: how the
+// migration cost responds to the checkpoint position, how lazy migration's
+// advantage depends on footprint, how the gadget measurement responds to
+// the scanner's length bound, and how the scheduler quantum affects the
+// monitor's time-to-quiescence.
+package dapper
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/cluster"
+	"github.com/dapper-sim/dapper/internal/experiments"
+	"github.com/dapper-sim/dapper/internal/gadget"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/monitor"
+	"github.com/dapper-sim/dapper/internal/workloads"
+)
+
+// BenchmarkAblation_CheckpointPosition sweeps the migration point: image
+// size (and thus copy cost) is position-dependent only insofar as the
+// footprint grows, which the metrics expose per fraction.
+func BenchmarkAblation_CheckpointPosition(b *testing.B) {
+	w, err := workloads.Get("kmeans")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		frac := frac
+		b.Run(fmt.Sprintf("at-%.0f%%", frac*100), func(b *testing.B) {
+			var last *cluster.Breakdown
+			for i := 0; i < b.N; i++ {
+				bd, err := experiments.MigrateOnce(w, workloads.ClassS, frac, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = bd
+			}
+			b.ReportMetric(float64(last.ImageBytes), "image-B")
+			b.ReportMetric(last.Total().Seconds()*1000, "modeled-total-ms")
+		})
+	}
+}
+
+// BenchmarkAblation_GadgetScannerLength sweeps the gadget length bound:
+// the *reduction* conclusion must be robust to the scanner configuration.
+func BenchmarkAblation_GadgetScannerLength(b *testing.B) {
+	w, err := workloads.Get("nginz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dapperPair, err := workloads.CompilePair(w, workloads.ClassS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	popcornPair, err := gadget.PopcornPair(w.Source(workloads.ClassS))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, maxLen := range []int{3, 5, 8} {
+		maxLen := maxLen
+		b.Run(fmt.Sprintf("len-%d", maxLen), func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				d := gadget.CountMax(dapperPair.X86.Text, isa.TextBase, isa.SX86, maxLen)
+				p := gadget.CountMax(popcornPair.X86.Text, isa.TextBase, isa.SX86, maxLen)
+				red = gadget.Reduction(p, d)
+			}
+			b.ReportMetric(red, "reduction-%")
+			if red < 40 {
+				b.Fatalf("reduction conclusion not robust at len %d: %.1f%%", maxLen, red)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_MonitorQuantum sweeps the scheduler quantum: a larger
+// quantum means fewer scheduler passes until quiescence but coarser pause
+// granularity. The metric is passes-to-quiescence.
+func BenchmarkAblation_MonitorQuantum(b *testing.B) {
+	w, err := workloads.Get("streamcluster")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair, err := workloads.CompilePair(w, workloads.ClassS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, quantum := range []int{64, 1024, 16384} {
+		quantum := quantum
+		b.Run(fmt.Sprintf("q-%d", quantum), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k := kernel.New(kernel.Config{Cores: 2, Quantum: quantum})
+				p, err := k.StartProcess(pair.X86.LoadSpec("/bin/sc.sx86"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := k.RunBudget(p, 50_000); err != nil {
+					b.Fatal(err)
+				}
+				mon := monitor.New(k, p, pair.Meta)
+				if err := mon.Pause(1 << 20); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_LazyFootprint sweeps the rediska database size to show
+// where post-copy starts winning on bytes moved eagerly.
+func BenchmarkAblation_LazyFootprint(b *testing.B) {
+	w, err := workloads.Get("rediska")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair, err := workloads.CompilePair(w, workloads.ClassS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, keys := range []uint64{100, 500} {
+		keys := keys
+		b.Run(fmt.Sprintf("keys-%d", keys), func(b *testing.B) {
+			var vanilla, lazy uint64
+			for i := 0; i < b.N; i++ {
+				for _, isLazy := range []bool{false, true} {
+					xeon := cluster.NewNode(cluster.XeonSpec)
+					pi := cluster.NewNode(cluster.PiSpec)
+					xeon.Install(w.Name, pair)
+					pi.Install(w.Name, pair)
+					p, err := xeon.Start(w.Name)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p.PushInput(workloads.RediskaLoad(keys))
+					for j := 0; j < 5_000_000; j++ {
+						st, err := xeon.K.Step(p)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if st.Blocked == 1 && p.PendingInput() == 0 {
+							break
+						}
+					}
+					res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{Lazy: isLazy})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if isLazy {
+						lazy = res.Breakdown.ImageBytes
+					} else {
+						vanilla = res.Breakdown.ImageBytes
+					}
+				}
+			}
+			b.ReportMetric(float64(vanilla), "vanilla-B")
+			b.ReportMetric(float64(lazy), "lazy-B")
+		})
+	}
+}

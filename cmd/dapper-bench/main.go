@@ -1,0 +1,79 @@
+// Command dapper-bench regenerates every table and figure of the paper's
+// evaluation section and prints them as text tables.
+//
+// Usage:
+//
+//	dapper-bench [-class S|A|B] [-out EXPERIMENTS-data.md] [fig5 fig6 ... attacks | all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dapper-sim/dapper/internal/experiments"
+	"github.com/dapper-sim/dapper/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dapper-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type genFunc func(workloads.Class) (*experiments.Table, error)
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dapper-bench", flag.ContinueOnError)
+	class := fs.String("class", "S", "problem class: S, A, or B")
+	out := fs.String("out", "", "also append markdown tables to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := workloads.Class(strings.ToUpper(*class))
+	gens := map[string]genFunc{
+		"fig1":  experiments.Fig1,
+		"fig5":  experiments.Fig5,
+		"fig6":  experiments.Fig6,
+		"fig7":  experiments.Fig7,
+		"fig8":  experiments.Fig8,
+		"fig9":  experiments.Fig9,
+		"fig10": experiments.Fig10,
+		"fig11": experiments.Fig11,
+		"attacks": func(workloads.Class) (*experiments.Table, error) {
+			return experiments.Attacks()
+		},
+	}
+	order := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "attacks"}
+
+	want := fs.Args()
+	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
+		want = order
+	}
+	var md strings.Builder
+	for _, id := range want {
+		gen, ok := gens[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(order, " "))
+		}
+		tbl, err := gen(c)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(tbl.String())
+		md.WriteString(tbl.Markdown())
+	}
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.WriteString(md.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

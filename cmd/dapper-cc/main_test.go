@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/compiler"
+)
+
+func TestCompileDriver(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.dapc")
+	if err := os.WriteFile(src, []byte(`
+func main() { printi(7); }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stem := filepath.Join(dir, "p")
+	if err := run([]string{"-o", stem, "-symbols", "-stackmaps", src}); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".sx86.delf", ".sarm.delf"} {
+		blob, err := os.ReadFile(stem + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := compiler.UnmarshalBinary(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", suffix, err)
+		}
+		if _, ok := bin.Meta.FuncByName("main"); !ok {
+			t.Errorf("%s: missing main metadata", suffix)
+		}
+	}
+}
+
+func TestCompileDriverErrors(t *testing.T) {
+	if err := run([]string{"/nonexistent/x.dapc"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.dapc")
+	if err := os.WriteFile(bad, []byte("not a program"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("bad program accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Error("no args accepted")
+	}
+}

@@ -1,0 +1,68 @@
+// Command dapper-crit is the CRIT image tool: it decodes a checkpoint
+// image directory (one .img blob as produced by dapperctl) to JSON and
+// encodes JSON back, exactly mirroring CRIU's crit decode/encode workflow
+// the paper extends.
+//
+// Usage:
+//
+//	dapper-crit decode checkpoint.imgdir > checkpoint.json
+//	dapper-crit encode checkpoint.json > checkpoint.imgdir
+//	dapper-crit ls checkpoint.imgdir
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dapper-crit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: dapper-crit decode|encode|ls FILE")
+	}
+	verb, path := args[0], args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	switch verb {
+	case "decode":
+		dir, err := criu.UnmarshalImageDir(data)
+		if err != nil {
+			return err
+		}
+		out, err := criu.DecodeJSON(dir)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(out, '\n'))
+		return err
+	case "encode":
+		dir, err := criu.EncodeJSON(data)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(dir.Marshal())
+		return err
+	case "ls":
+		dir, err := criu.UnmarshalImageDir(data)
+		if err != nil {
+			return err
+		}
+		for _, name := range dir.Names() {
+			b, _ := dir.Get(name)
+			fmt.Printf("%10d  %s\n", len(b), name)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown verb %q (want decode, encode, or ls)", verb)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/isa"
+)
+
+func TestCritDriver(t *testing.T) {
+	dir := t.TempDir()
+	img := criu.NewImageDir()
+	img.Put("inventory.img", (&criu.InventoryImage{Arch: isa.SX86, TIDs: []int{1}}).Marshal())
+	img.Put("files.img", (&criu.FilesImage{ExePath: "/bin/x.sx86"}).Marshal())
+	img.Put("pages.img", nil)
+	img.Put("pagemap.img", (&criu.PagemapImage{}).Marshal())
+	path := filepath.Join(dir, "c.imgdir")
+	if err := os.WriteFile(path, img.Marshal(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"ls", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"decode", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"bogus", path}); err == nil {
+		t.Error("unknown verb accepted")
+	}
+	if err := run([]string{"decode", "/nonexistent"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"decode"}); err == nil {
+		t.Error("missing operand accepted")
+	}
+}

@@ -1,0 +1,259 @@
+// Command dapperctl is the DAPPER runtime controller: it runs compiled
+// DELF binaries on the simulated kernels and drives checkpoint, rewrite,
+// restore, and cross-ISA migration — the paper's end-to-end workflow in
+// one tool.
+//
+// Usage:
+//
+//	dapperctl run prog.sx86.delf
+//	    Run to completion on the matching architecture's node.
+//
+//	dapperctl checkpoint -at 0.5 -out ckpt.imgdir prog.sx86.delf
+//	    Run to 50% of the program's cycles, pause at equivalence points,
+//	    dump, and write the image directory.
+//
+//	dapperctl restore ckpt.imgdir prog.sx86.delf [prog.sarm.delf]
+//	    Restore an image directory (binaries resolve the files image).
+//
+//	dapperctl migrate -at 0.5 [-lazy] [-shuffle] prog.sx86.delf prog.sarm.delf
+//	    Full live migration x86 -> arm with the phase breakdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dapper-sim/dapper/internal/cluster"
+	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/monitor"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dapperctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: dapperctl run|checkpoint|restore|migrate ...")
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:])
+	case "checkpoint":
+		return cmdCheckpoint(args[1:])
+	case "restore":
+		return cmdRestore(args[1:])
+	case "migrate":
+		return cmdMigrate(args[1:])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func loadBinary(path string) (*compiler.Binary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return compiler.UnmarshalBinary(data)
+}
+
+func nodeFor(arch isa.Arch) *cluster.Node {
+	if arch == isa.SX86 {
+		return cluster.NewNode(cluster.XeonSpec)
+	}
+	return cluster.NewNode(cluster.PiSpec)
+}
+
+// exePathOf derives the files-image path from a DELF filename: the stem
+// with the architecture suffix (prog.sx86.delf -> /bin/prog.sx86).
+func exePathOf(path string, arch isa.Arch) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	base = strings.TrimSuffix(base, ".delf")
+	base = strings.TrimSuffix(base, "."+isa.SX86.String())
+	base = strings.TrimSuffix(base, "."+isa.SARM.String())
+	return "/bin/" + base + "." + arch.String()
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dapperctl run prog.delf")
+	}
+	bin, err := loadBinary(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	node := nodeFor(bin.Arch)
+	p, err := node.K.StartProcess(bin.LoadSpec(exePathOf(fs.Arg(0), bin.Arch)))
+	if err != nil {
+		return err
+	}
+	if err := node.K.Run(p); err != nil {
+		return err
+	}
+	fmt.Print(p.ConsoleString())
+	fmt.Printf("[exit %d, %d guest cycles = %.3f ms on %s]\n",
+		p.ExitCode, p.VCycles, node.SecondsFor(p.VCycles)*1000, node.Spec.Name)
+	return nil
+}
+
+// startAndRunTo loads a binary and runs it to a fraction of its total
+// cycles, returning the node and paused-point process.
+func startAndRunTo(path string, frac float64) (*cluster.Node, *kernel.Process, *compiler.Binary, error) {
+	bin, err := loadBinary(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	node := nodeFor(bin.Arch)
+	// Measure the total first.
+	ref, err := node.K.StartProcess(bin.LoadSpec(exePathOf(path, bin.Arch)))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := node.K.Run(ref); err != nil {
+		return nil, nil, nil, fmt.Errorf("reference run: %w", err)
+	}
+	p, err := node.K.StartProcess(bin.LoadSpec(exePathOf(path, bin.Arch)))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	alive, err := node.K.RunBudget(p, uint64(float64(ref.VCycles)*frac))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !alive {
+		return nil, nil, nil, fmt.Errorf("program finished before the %.0f%% point", frac*100)
+	}
+	return node, p, bin, nil
+}
+
+func cmdCheckpoint(args []string) error {
+	fs := flag.NewFlagSet("checkpoint", flag.ContinueOnError)
+	at := fs.Float64("at", 0.5, "checkpoint position as a fraction of total cycles")
+	out := fs.String("out", "ckpt.imgdir", "output image-directory file")
+	lazy := fs.Bool("lazy", false, "post-copy dump (stack/TLS only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dapperctl checkpoint [-at F] [-out FILE] prog.delf")
+	}
+	node, p, bin, err := startAndRunTo(fs.Arg(0), *at)
+	if err != nil {
+		return err
+	}
+	mon := monitor.New(node.K, p, bin.Meta)
+	if err := mon.Pause(1 << 22); err != nil {
+		return err
+	}
+	dir, err := criu.Dump(p, criu.DumpOpts{Lazy: *lazy})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, dir.Marshal(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("checkpointed %d threads at %.0f%% into %s (%d bytes)\n",
+		len(p.Threads), *at*100, *out, dir.Size())
+	fmt.Printf("console so far: %q\n", p.ConsoleString())
+	return nil
+}
+
+func cmdRestore(args []string) error {
+	fs := flag.NewFlagSet("restore", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("usage: dapperctl restore ckpt.imgdir prog.delf...")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	dir, err := criu.UnmarshalImageDir(data)
+	if err != nil {
+		return err
+	}
+	provider := criu.MapProvider{}
+	var arch isa.Arch
+	for _, path := range fs.Args()[1:] {
+		bin, err := loadBinary(path)
+		if err != nil {
+			return err
+		}
+		provider[exePathOf(path, bin.Arch)] = bin
+		arch = bin.Arch
+	}
+	node := nodeFor(arch)
+	p, err := criu.Restore(node.K, dir, provider)
+	if err != nil {
+		return err
+	}
+	if err := node.K.Run(p); err != nil {
+		return err
+	}
+	fmt.Print(p.ConsoleString())
+	fmt.Printf("[exit %d]\n", p.ExitCode)
+	return nil
+}
+
+func cmdMigrate(args []string) error {
+	fs := flag.NewFlagSet("migrate", flag.ContinueOnError)
+	at := fs.Float64("at", 0.5, "migration position as a fraction of total cycles")
+	lazy := fs.Bool("lazy", false, "post-copy migration")
+	shuffle := fs.Bool("shuffle", false, "also re-randomize the stack layout during the rewrite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: dapperctl migrate [-at F] [-lazy] src.delf dst.delf")
+	}
+	srcNode, p, srcBin, err := startAndRunTo(fs.Arg(0), *at)
+	if err != nil {
+		return err
+	}
+	dstBin, err := loadBinary(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	dstNode := nodeFor(dstBin.Arch)
+	srcNode.Binaries[exePathOf(fs.Arg(0), srcBin.Arch)] = srcBin
+	srcNode.Binaries[exePathOf(fs.Arg(1), dstBin.Arch)] = dstBin
+	dstNode.Binaries[exePathOf(fs.Arg(0), srcBin.Arch)] = srcBin
+	dstNode.Binaries[exePathOf(fs.Arg(1), dstBin.Arch)] = dstBin
+	res, err := cluster.Migrate(srcNode, dstNode, p, srcBin.Meta, cluster.MigrateOpts{
+		Lazy: *lazy, Shuffle: *shuffle, ShuffleSeed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	out1 := p.ConsoleString()
+	proc := res.Proc
+	if *shuffle {
+		fmt.Println("(stack layout re-randomized during the rewrite)")
+	}
+	if err := dstNode.K.Run(proc); err != nil {
+		return err
+	}
+	bd := res.Breakdown
+	fmt.Printf("output: %s", out1+proc.ConsoleString())
+	fmt.Printf("breakdown: checkpoint=%v recode=%v copy=%v restore=%v total=%v images=%dB\n",
+		bd.Checkpoint, bd.Recode, bd.Copy, bd.Restore, bd.Total(), bd.ImageBytes)
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/isa"
+)
+
+func TestExePathOf(t *testing.T) {
+	cases := []struct {
+		path string
+		arch isa.Arch
+		want string
+	}{
+		{"prog.sx86.delf", isa.SX86, "/bin/prog.sx86"},
+		{"prog.sx86.delf", isa.SARM, "/bin/prog.sarm"},
+		{"dir/sub/app.sarm.delf", isa.SX86, "/bin/app.sx86"},
+		{"plain.delf", isa.SARM, "/bin/plain.sarm"},
+		{"noext", isa.SX86, "/bin/noext.sx86"},
+	}
+	for _, tc := range cases {
+		if got := exePathOf(tc.path, tc.arch); got != tc.want {
+			t.Errorf("exePathOf(%q, %v) = %q, want %q", tc.path, tc.arch, got, tc.want)
+		}
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Error("empty args accepted")
+	}
+}

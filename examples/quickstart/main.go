@@ -1,0 +1,101 @@
+// Quickstart: compile a DapC program for both architectures, run it
+// natively, then run it again with a live cross-ISA migration at the
+// half-way point and check the outputs match — DAPPER's headline
+// capability in ~80 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dapper-sim/dapper/internal/cluster"
+	"github.com/dapper-sim/dapper/internal/compiler"
+)
+
+const program = `
+// Estimate pi with a deterministic grid sample, chatting along the way.
+func inside(x int, y int) int {
+	if x * x + y * y <= 1000000 { return 1; }
+	return 0;
+}
+
+func main() {
+	var hits int;
+	var x int;
+	var y int;
+	for x = 0; x < 1000; x = x + 10 {
+		for y = 0; y < 1000; y = y + 1 {
+			hits = hits + inside(x, y);
+		}
+		if x % 250 == 0 {
+			print("progress ");
+			printi(x / 10);
+			print("%\n");
+		}
+	}
+	print("pi ~ ");
+	printf(4.0 * float(hits) / 100000.0);
+	print("\n");
+}`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. One compilation, two aligned binaries (x86-like and ARM-like).
+	pair, err := compiler.Compile(program)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled: %d B of sx86 text, %d B of sarm text, symbols aligned\n\n",
+		len(pair.X86.Text), len(pair.ARM.Text))
+
+	// 2. Native run on the Xeon-like node.
+	xeon := cluster.NewNode(cluster.XeonSpec)
+	xeon.Install("pi", pair)
+	p, err := xeon.Start("pi")
+	if err != nil {
+		return err
+	}
+	if err := xeon.K.Run(p); err != nil {
+		return err
+	}
+	native := p.ConsoleString()
+	total := p.VCycles
+	fmt.Printf("native output on %s:\n%s\n", xeon.Spec.Name, native)
+
+	// 3. Run again, but live-migrate to the Pi-like node at 50%.
+	srcNode := cluster.NewNode(cluster.XeonSpec)
+	dstNode := cluster.NewNode(cluster.PiSpec)
+	srcNode.Install("pi", pair)
+	dstNode.Install("pi", pair)
+	p2, err := srcNode.Start("pi")
+	if err != nil {
+		return err
+	}
+	if _, err := srcNode.K.RunBudget(p2, total/2); err != nil {
+		return err
+	}
+	res, err := cluster.Migrate(srcNode, dstNode, p2, pair.Meta, cluster.MigrateOpts{})
+	if err != nil {
+		return err
+	}
+	if err := dstNode.K.Run(res.Proc); err != nil {
+		return err
+	}
+	migrated := p2.ConsoleString() + res.Proc.ConsoleString()
+	fmt.Printf("migrated output (first half on %s, second half on %s):\n%s\n",
+		srcNode.Spec.Name, dstNode.Spec.Name, migrated)
+	bd := res.Breakdown
+	fmt.Printf("migration breakdown: checkpoint=%v recode=%v copy=%v restore=%v (images %d B)\n",
+		bd.Checkpoint, bd.Recode, bd.Copy, bd.Restore, bd.ImageBytes)
+
+	if native == migrated {
+		fmt.Println("\nSUCCESS: outputs are bit-identical across the live cross-ISA migration")
+		return nil
+	}
+	return fmt.Errorf("outputs differ!\nnative: %q\nmigrated: %q", native, migrated)
+}

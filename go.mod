@@ -1,0 +1,3 @@
+module github.com/dapper-sim/dapper
+
+go 1.22

@@ -1,0 +1,158 @@
+package asm_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/asm"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/isa/sarm"
+	"github.com/dapper-sim/dapper/internal/isa/sx86"
+)
+
+func coders() map[isa.Arch]isa.Coder {
+	return map[isa.Arch]isa.Coder{isa.SX86: sx86.Coder{}, isa.SARM: sarm.Coder{}}
+}
+
+func TestLabelPatching(t *testing.T) {
+	for arch, coder := range coders() {
+		t.Run(arch.String(), func(t *testing.T) {
+			f := asm.New(coder)
+			back := f.Here() // label at offset 0
+			f.Emit(isa.Inst{Op: isa.OpNop})
+			fwd := f.NewLabel()
+			f.EmitBranch(isa.Inst{Op: isa.OpJmp}, fwd)
+			f.Emit(isa.Inst{Op: isa.OpNop})
+			f.Define(fwd)
+			f.EmitBranch(isa.Inst{Op: isa.OpJmp}, back)
+
+			code, labels, err := f.Assemble(0x400000, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if labels[back] != 0x400000 {
+				t.Errorf("back label = 0x%x", labels[back])
+			}
+			// Decode the final JMP and check it targets offset 0.
+			c := coder
+			off := labels[fwd] - 0x400000
+			inst, err := c.Decode(code[off:], labels[fwd])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if uint64(inst.Imm) != 0x400000 {
+				t.Errorf("backward jump target = 0x%x", inst.Imm)
+			}
+		})
+	}
+}
+
+func TestUndefinedLabelFails(t *testing.T) {
+	f := asm.New(sx86.Coder{})
+	f.EmitBranch(isa.Inst{Op: isa.OpJmp}, f.NewLabel())
+	if _, _, err := f.Assemble(0x400000, nil); err == nil {
+		t.Error("undefined label assembled")
+	}
+}
+
+func TestSymbolResolution(t *testing.T) {
+	f := asm.New(sarm.Coder{})
+	f.EmitSym(isa.Inst{Op: isa.OpCall}, "callee", 0)
+	f.EmitSym(isa.Inst{Op: isa.OpMovImm, Rd: 1}, "global", 24)
+	code, _, err := f.Assemble(0x400000, func(name string) (uint64, error) {
+		switch name {
+		case "callee":
+			return 0x400100, nil
+		case "global":
+			return 0x10000000, nil
+		}
+		return 0, errors.New("unknown symbol")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sarm.Coder{}.Decode(code, 0x400000)
+	if err != nil || inst.Op != isa.OpCall || inst.Imm != 0x400100 {
+		t.Errorf("call = %+v (err %v)", inst, err)
+	}
+	// Missing resolver/symbol paths.
+	g := asm.New(sarm.Coder{})
+	g.EmitSym(isa.Inst{Op: isa.OpCall}, "nope", 0)
+	if _, _, err := g.Assemble(0x400000, nil); err == nil {
+		t.Error("missing resolver accepted")
+	}
+	if _, _, err := g.Assemble(0x400000, func(string) (uint64, error) {
+		return 0, errors.New("unknown symbol")
+	}); err == nil {
+		t.Error("unresolved symbol accepted")
+	}
+}
+
+func TestPad(t *testing.T) {
+	for arch, coder := range coders() {
+		t.Run(arch.String(), func(t *testing.T) {
+			f := asm.New(coder)
+			f.Emit(isa.Inst{Op: isa.OpRet})
+			if err := f.Pad(32); err != nil {
+				t.Fatal(err)
+			}
+			if f.Size() != 32 {
+				t.Errorf("padded size = %d", f.Size())
+			}
+			if err := f.Pad(16); err == nil {
+				t.Error("shrinking pad accepted")
+			}
+		})
+	}
+	// SARM NOPs are 4 bytes: padding to a non-multiple must fail.
+	f := asm.New(sarm.Coder{})
+	f.Emit(isa.Inst{Op: isa.OpRet})
+	if err := f.Pad(10); err == nil {
+		t.Error("unaligned pad accepted on sarm")
+	}
+}
+
+// TestEmitALU3Lowering executes every aliasing case of the two-operand
+// lowering on the SX86 interpreter-free path by decoding the emitted
+// sequence.
+func TestEmitALU3Lowering(t *testing.T) {
+	cases := []struct {
+		name       string
+		rd, rn, rm isa.Reg
+		op         isa.Op
+		maxInsts   int
+	}{
+		{"rd==rn", 1, 1, 2, isa.OpSub, 1},
+		{"rd==rm commutative", 2, 1, 2, isa.OpAdd, 1},
+		{"rd==rm noncommutative", 2, 1, 2, isa.OpSub, 3},
+		{"disjoint", 3, 1, 2, isa.OpSub, 2},
+		{"tmp==rn noncommutative", 2, 5, 2, isa.OpSub, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := asm.New(sx86.Coder{})
+			f.EmitALU3(tc.op, tc.rd, tc.rn, tc.rm, 5)
+			code, _, err := f.Assemble(0x400000, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for off := 0; off < len(code); n++ {
+				inst, err := sx86.Coder{}.Decode(code[off:], 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				off += inst.Len
+			}
+			if n > tc.maxInsts {
+				t.Errorf("lowered to %d insts, want <= %d", n, tc.maxInsts)
+			}
+		})
+	}
+	// On SARM the three-operand form is always one instruction.
+	f := asm.New(sarm.Coder{})
+	f.EmitALU3(isa.OpSub, 2, 1, 2, 5)
+	if f.Size() != 4 {
+		t.Errorf("sarm ALU3 size = %d, want 4", f.Size())
+	}
+}

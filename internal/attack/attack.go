@@ -1,0 +1,212 @@
+// Package attack implements the synthetic data-oriented attacks used to
+// evaluate DAPPER's stack shuffling (paper §IV-B): Min-DOP-style single
+// -target corruption (privilege escalation through a stack buffer
+// overflow) and BOPC-style multi-target payloads (gadget chains that must
+// corrupt several allocations at known offsets). An attacker crafts a
+// payload from the *unprotected* binary's frame layout; DAPPER's shuffling
+// (or a cross-ISA rewrite) relocates the targets and the payload misses.
+package attack
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/stackmap"
+)
+
+// VulnServerSrc is the vulnerable DapC service: handle() copies a
+// request into an 8-word stack buffer without a bounds check (the overflow
+// reaches earlier-declared slots, including the admin flag and the BOPC
+// key). It stands in for the paper's min-dop vulnerable server / CVE-laden
+// Redis and Nginx builds.
+const VulnServerSrc = `
+var secret int;
+
+func handle() int {
+	var admin int;
+	var key int;
+	var i int;
+	var reqlen int;
+	var buf[8] int;
+	var admin2 int;
+	var req[64] int;
+	var n int;
+	var hit int;
+	admin = 0;
+	admin2 = 0;
+	key = 0;
+	hit = 0;
+	n = recv(&req[0], 520);
+	if n < 0 { return 0 - 1; }
+	reqlen = req[0];
+	// Vulnerable copy: reqlen is attacker-controlled and unchecked.
+	for i = 0; i < reqlen; i = i + 1 {
+		buf[i] = req[i + 1];
+	}
+	// Escalation requires the exact magic value a real DOP payload would
+	// plant (a pointer or token), not merely a nonzero byte.
+	if admin == 41 {
+		hit = 1;
+		if key == 3735928559 {
+			print("PWNED ");
+			printi(secret);
+			print("\n");
+		} else {
+			print("ADMIN\n");
+		}
+	}
+	if admin2 == 41 {
+		hit = 1;
+		print("ADMIN\n");
+	}
+	if hit == 0 {
+		print("ok\n");
+	}
+	return buf[0];
+}
+
+func main() {
+	secret = 424242;
+	while 1 {
+		if handle() < 0 { break; }
+	}
+	exit(0);
+}
+`
+
+// Target is one slot the payload must corrupt.
+type Target struct {
+	Slot  string
+	Value uint64
+}
+
+// BuildPayload crafts an overflow request against fn's frame layout on the
+// given architecture: word 0 is the (oversized) length, the remaining
+// words overwrite buf[0..maxIdx]. Slots listed in counters receive their
+// loop-consistent index so the vulnerable copy itself keeps running
+// (classic DOP payload engineering). It fails if a target is not reachable
+// by a forward overflow — which is itself a security result (e.g. after a
+// cross-ISA rewrite the layout direction changed).
+func BuildPayload(meta *stackmap.Metadata, fnName, bufSlot string, arch isa.Arch, targets []Target, counters map[string]bool) ([]byte, error) {
+	fn, ok := meta.FuncByName(fnName)
+	if !ok {
+		return nil, fmt.Errorf("attack: no metadata for %q", fnName)
+	}
+	ai := stackmap.ArchIdx(arch)
+	offs := map[string]int64{}
+	for _, s := range fn.Slots {
+		offs[s.Name] = s.Off[ai]
+	}
+	bufOff, ok := offs[bufSlot]
+	if !ok {
+		return nil, fmt.Errorf("attack: no slot %q", bufSlot)
+	}
+	idxOf := func(name string) (int64, error) {
+		off, ok := offs[name]
+		if !ok {
+			return 0, fmt.Errorf("attack: no slot %q", name)
+		}
+		delta := bufOff - off
+		if delta <= 0 || delta%8 != 0 {
+			return 0, fmt.Errorf("attack: slot %q not reachable by forward overflow (delta %d)", name, delta)
+		}
+		return delta / 8, nil
+	}
+	maxIdx := int64(0)
+	values := map[int64]uint64{}
+	for _, t := range targets {
+		j, err := idxOf(t.Slot)
+		if err != nil {
+			return nil, err
+		}
+		values[j] = t.Value
+		if j > maxIdx {
+			maxIdx = j
+		}
+	}
+	// Fill intermediates: loop counters get their own index; everything
+	// else zero.
+	counterIdx := map[int64]bool{}
+	for name := range counters {
+		if j, err := idxOf(name); err == nil {
+			counterIdx[j] = true
+		}
+	}
+	words := make([]uint64, maxIdx+2)
+	words[0] = uint64(maxIdx + 1) // reqlen
+	for j := int64(0); j <= maxIdx; j++ {
+		if v, isTarget := values[j]; isTarget {
+			words[j+1] = v
+		} else if counterIdx[j] {
+			words[j+1] = uint64(j)
+		}
+	}
+	// The reqlen slot, if crossed, must retain its value or the copy
+	// stops early.
+	if j, err := idxOf("reqlen"); err == nil && j <= maxIdx {
+		words[j+1] = uint64(maxIdx + 1)
+	}
+	out := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(out[8*i:], w)
+	}
+	return out, nil
+}
+
+// Result is the outcome of firing a payload at a server process.
+type Result struct {
+	Escalated bool // "ADMIN" printed (single-target DOP success)
+	Pwned     bool // "PWNED" printed (multi-target BOPC success)
+	Crashed   bool // the process faulted
+	Hung      bool // a corrupted loop variable made the server spin
+	Output    string
+}
+
+// fireBudget bounds a fired request's guest execution: a payload that
+// corrupts the copy loop's control state can spin the server forever,
+// which classifies as a failed (denial-of-service) attack, not a hang of
+// the evaluation harness.
+const fireBudget = 50_000_000
+
+// Fire sends the payload to a running server process and runs it to
+// completion (or the cycle budget), classifying the outcome.
+func Fire(k *kernel.Kernel, p *kernel.Process, payload []byte) Result {
+	p.PushInput(payload)
+	p.CloseInput()
+	alive, err := k.RunBudget(p, fireBudget)
+	out := p.ConsoleString()
+	return Result{
+		Escalated: strings.Contains(out, "ADMIN"),
+		Pwned:     strings.Contains(out, "PWNED"),
+		Crashed:   err != nil,
+		Hung:      alive && err == nil,
+		Output:    out,
+	}
+}
+
+// MinDOPTargets is the single-target privilege escalation payload. The
+// reachable escalation flag differs per architecture: the SX86 layout
+// places admin above the buffer, the reversed SARM layout places admin2
+// there (both checked by the server, as a real program would have
+// exploitable state on either side).
+func MinDOPTargets(arch isa.Arch) []Target {
+	if arch == isa.SX86 {
+		return []Target{{Slot: "admin", Value: 41}}
+	}
+	return []Target{{Slot: "admin2", Value: 41}}
+}
+
+// BOPCTargets is the two-target payload: escalate AND load the magic key
+// the synthesized gadget chain dispatches on.
+func BOPCTargets() []Target {
+	return []Target{
+		{Slot: "admin", Value: 41},
+		{Slot: "key", Value: 0xDEADBEEF},
+	}
+}
+
+// Counters names the loop-variable slots the payload must preserve.
+func Counters() map[string]bool { return map[string]bool{"i": true} }

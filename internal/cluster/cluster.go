@@ -1,0 +1,245 @@
+// Package cluster models the multi-ISA, multi-node environment of the
+// paper's evaluation: an x86-like server and ARM-like boards connected by
+// a network, with end-to-end migration (vanilla and post-copy) and the
+// virtual-time cost model that reproduces the shape of Figs. 5–7.
+//
+// Two time scales coexist:
+//
+//   - guest virtual time: instruction cycles executed by the simulated
+//     kernels, converted to seconds through each node's clock model;
+//   - transformation time: checkpoint/recode/copy/restore costs modeled
+//     from image sizes, node speeds, and link bandwidth, calibrated (see
+//     timing.go) to land in the ranges the paper reports.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/core"
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/monitor"
+	"github.com/dapper-sim/dapper/internal/stackmap"
+)
+
+// NodeSpec describes one machine.
+type NodeSpec struct {
+	Name  string
+	Arch  isa.Arch
+	Cores int
+	// ClockHz and IPC convert guest cycles to seconds: t = cycles /
+	// (ClockHz * IPC).
+	ClockHz float64
+	IPC     float64
+	// IdleW and PerCoreW form the linear power model used by the energy
+	// experiments (Fig. 8).
+	IdleW    float64
+	PerCoreW float64
+}
+
+// Predefined node models, calibrated to the paper's testbed: an Intel Xeon
+// E5-2620 v4 (8 cores @ 2.1 GHz, 108 W observed under 7 worker threads)
+// and Raspberry Pi 4 boards (4×Cortex-A72 @ 1.5 GHz, 5.1 W under 3
+// threads).
+var (
+	XeonSpec = NodeSpec{
+		Name: "xeon", Arch: isa.SX86, Cores: 8,
+		ClockHz: 2.1e9, IPC: 1.0,
+		IdleW: 43, PerCoreW: 9.3, // 43 + 7*9.3 ≈ 108 W at 7 threads
+	}
+	PiSpec = NodeSpec{
+		Name: "pi", Arch: isa.SARM, Cores: 4,
+		ClockHz: 1.5e9, IPC: 0.55,
+		IdleW: 2.4, PerCoreW: 0.9, // 2.4 + 3*0.9 = 5.1 W at 3 threads
+	}
+)
+
+// Node is one machine: a kernel plus its spec and executable store.
+type Node struct {
+	Spec     NodeSpec
+	K        *kernel.Kernel
+	Binaries criu.MapProvider
+}
+
+// NewNode boots a node.
+func NewNode(spec NodeSpec) *Node {
+	return &Node{
+		Spec:     spec,
+		K:        kernel.New(kernel.Config{Cores: spec.Cores}),
+		Binaries: criu.MapProvider{},
+	}
+}
+
+// Install registers a compiled pair's binary for this node's architecture
+// (and the other architecture too, so the rewriter can read both sides).
+func (n *Node) Install(name string, pair *compiler.Pair) {
+	n.Binaries[compiler.ExePath(name, isa.SX86)] = pair.X86
+	n.Binaries[compiler.ExePath(name, isa.SARM)] = pair.ARM
+}
+
+// Start launches a program (installed under name) on this node.
+func (n *Node) Start(name string) (*kernel.Process, error) {
+	path := compiler.ExePath(name, n.Spec.Arch)
+	bin, err := n.Binaries.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return n.K.StartProcess(bin.LoadSpec(path))
+}
+
+// SecondsFor converts guest cycles to wall seconds on this node.
+func (n *Node) SecondsFor(cycles uint64) float64 {
+	return float64(cycles) / (n.Spec.ClockHz * n.Spec.IPC)
+}
+
+// Duration converts guest cycles to a time.Duration on this node.
+func (n *Node) Duration(cycles uint64) time.Duration {
+	return time.Duration(n.SecondsFor(cycles) * float64(time.Second))
+}
+
+// Breakdown is the per-phase cost of one migration (the bars of Figs. 5
+// and 7).
+type Breakdown struct {
+	Checkpoint time.Duration
+	Recode     time.Duration
+	Copy       time.Duration
+	Restore    time.Duration
+	// RecodeHost is the real wall time the Go rewriter took (reported by
+	// the benchmarks alongside the modeled time).
+	RecodeHost time.Duration
+	// ImageBytes is the transferred image size.
+	ImageBytes uint64
+	// LazyBytes counts bytes later served by the page server (post-copy).
+	LazyBytes uint64
+	// LazyFetches counts page-server round trips after restore.
+	LazyFetches uint64
+}
+
+// Total is the service interruption excluding post-copy paging.
+func (b *Breakdown) Total() time.Duration {
+	return b.Checkpoint + b.Recode + b.Copy + b.Restore
+}
+
+// MigrateOpts controls a migration.
+type MigrateOpts struct {
+	Lazy bool
+	// Shuffle additionally re-randomizes the stack layout during the
+	// rewrite (policy chaining); ShuffleSeed selects the permutation.
+	Shuffle     bool
+	ShuffleSeed int64
+	// RecodeOn selects where the rewrite runs; nil means the faster node
+	// (the paper notes the transformation can always run on the most
+	// powerful machine).
+	RecodeOn *Node
+	// Link models the connection (defaults to InfiniBand).
+	Link *Link
+	// MaxPauses bounds the monitor's wait for equivalence points.
+	MaxPauses int
+}
+
+// MigrationResult couples the restored process with its costs and any
+// page-server plumbing the caller must keep alive.
+type MigrationResult struct {
+	Proc      *kernel.Process
+	Breakdown Breakdown
+	// Source is the paused source process (kept alive as the page server
+	// for lazy migrations; dead weight otherwise).
+	Source *criu.ProcessPageSource
+}
+
+// Migrate checkpoints p on src, rewrites it for dst's architecture, copies
+// the images, and restores it on dst. The returned process is ready to
+// run. meta must be the program's stack-map metadata.
+func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts MigrateOpts) (*MigrationResult, error) {
+	if opts.MaxPauses == 0 {
+		opts.MaxPauses = 1 << 20
+	}
+	link := opts.Link
+	if link == nil {
+		link = &InfiniBand
+	}
+	recodeNode := opts.RecodeOn
+	if recodeNode == nil {
+		recodeNode = fasterNode(src, dst)
+	}
+
+	var bd Breakdown
+
+	// 1. Pause at equivalence points and dump (checkpoint).
+	mon := monitor.New(src.K, p, meta)
+	if err := mon.Pause(opts.MaxPauses); err != nil {
+		return nil, fmt.Errorf("cluster: pause: %w", err)
+	}
+	dir, err := criu.Dump(p, criu.DumpOpts{Lazy: opts.Lazy})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dump: %w", err)
+	}
+	bd.Checkpoint = CheckpointTime(dir.Size())
+
+	// 2. Rewrite (recode) for the destination architecture, optionally
+	// chaining a stack shuffle (the destination starts with a fresh
+	// layout).
+	hostStart := time.Now()
+	ctx := &core.Context{Binaries: src.Binaries}
+	if src.Spec.Arch != dst.Spec.Arch {
+		policy := core.CrossISAPolicy{Target: dst.Spec.Arch}
+		if err := policy.Rewrite(dir, ctx); err != nil {
+			return nil, fmt.Errorf("cluster: rewrite: %w", err)
+		}
+	}
+	if opts.Shuffle {
+		// The shuffled binary must be visible on BOTH nodes: register it
+		// into the destination's provider too.
+		pol := core.StackShufflePolicy{Seed: opts.ShuffleSeed}
+		if err := pol.Rewrite(dir, ctx); err != nil {
+			return nil, fmt.Errorf("cluster: shuffle: %w", err)
+		}
+		filesRaw, _ := dir.Get("files.img")
+		files, err := criu.UnmarshalFiles(filesRaw)
+		if err != nil {
+			return nil, err
+		}
+		bin, err := src.Binaries.Open(files.ExePath)
+		if err != nil {
+			return nil, err
+		}
+		dst.Binaries.Register(files.ExePath, bin)
+	}
+	bd.RecodeHost = time.Since(hostStart)
+	bd.Recode = RecodeTime(recodeNode, dir.Size())
+
+	// 3. Copy images over the link (scp).
+	blob := dir.Marshal()
+	bd.ImageBytes = uint64(len(blob))
+	bd.Copy = link.TransferTime(bd.ImageBytes)
+	dir2, err := criu.UnmarshalImageDir(blob)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: transfer: %w", err)
+	}
+
+	// 4. Restore on the destination node.
+	p2, err := criu.Restore(dst.K, dir2, dst.Binaries)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: restore: %w", err)
+	}
+	bd.Restore = RestoreTime(dir2.Size(), opts.Lazy)
+
+	res := &MigrationResult{Proc: p2, Breakdown: bd}
+	if opts.Lazy {
+		srcPages := criu.NewProcessPageSource(p)
+		criu.InstallLazyHandler(p2, srcPages)
+		res.Source = srcPages
+		res.Breakdown.LazyBytes = p.AS.ResidentBytes()
+	}
+	return res, nil
+}
+
+func fasterNode(a, b *Node) *Node {
+	if a.Spec.ClockHz*a.Spec.IPC >= b.Spec.ClockHz*b.Spec.IPC {
+		return a
+	}
+	return b
+}

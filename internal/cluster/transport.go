@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+)
+
+// ImageReceiver accepts checkpoint image directories over TCP — the scp
+// step of a real cross-node deployment. The in-process Migrate path uses
+// direct marshaling for speed; integration tests and multi-process
+// deployments use this.
+type ImageReceiver struct {
+	ln net.Listener
+
+	mu   sync.Mutex
+	recv []*criu.ImageDir
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// ListenImages starts a receiver on addr ("127.0.0.1:0" for tests).
+func ListenImages(addr string) (*ImageReceiver, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: image receiver: %w", err)
+	}
+	r := &ImageReceiver{ln: ln, stop: make(chan struct{})}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the listen address.
+func (r *ImageReceiver) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the receiver.
+func (r *ImageReceiver) Close() error {
+	close(r.stop)
+	err := r.ln.Close()
+	r.wg.Wait()
+	return err
+}
+
+// Take removes and returns the oldest received directory, or nil.
+func (r *ImageReceiver) Take() *criu.ImageDir {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.recv) == 0 {
+		return nil
+	}
+	d := r.recv[0]
+	r.recv = r.recv[1:]
+	return d
+}
+
+func (r *ImageReceiver) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer conn.Close()
+			dir, err := readImageDir(conn)
+			if err != nil {
+				return
+			}
+			r.mu.Lock()
+			r.recv = append(r.recv, dir)
+			r.mu.Unlock()
+		}()
+	}
+}
+
+// SendImages copies a checkpoint directory to a receiver over TCP,
+// returning the bytes transferred (the scp payload size).
+func SendImages(addr string, dir *criu.ImageDir) (uint64, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: send images: %w", err)
+	}
+	defer conn.Close()
+	blob := dir.Marshal()
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(len(blob)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := conn.Write(blob); err != nil {
+		return 0, err
+	}
+	return uint64(len(blob)) + 8, nil
+}
+
+func readImageDir(conn net.Conn) (*criu.ImageDir, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint64(hdr[:])
+	const maxImage = 1 << 30
+	if n > maxImage {
+		return nil, fmt.Errorf("cluster: image of %d bytes exceeds limit", n)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(conn, blob); err != nil {
+		return nil, err
+	}
+	return criu.UnmarshalImageDir(blob)
+}

@@ -1,0 +1,48 @@
+package compiler
+
+import (
+	"github.com/dapper-sim/dapper/internal/ir"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/lang"
+)
+
+// Compile runs the full pipeline: parse, check, lower, and build the
+// aligned dual-architecture binary pair.
+func Compile(src string) (*Pair, error) {
+	file, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := lang.Check(file)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ir.Lower(file, info)
+	if err != nil {
+		return nil, err
+	}
+	return BuildPair(prog)
+}
+
+// LoadSpec converts a binary into the kernel's loading form. exePath names
+// the executable in the files image; by convention the pair uses the same
+// stem with an architecture suffix so the rewriter can retarget it.
+func (b *Binary) LoadSpec(exePath string) kernel.LoadSpec {
+	return kernel.LoadSpec{
+		Arch:       b.Arch,
+		Coder:      CoderFor(b.Arch),
+		Text:       b.Text,
+		Data:       b.Data,
+		Entry:      b.Entry,
+		ThreadExit: b.ThreadExit,
+		ExePath:    exePath,
+	}
+}
+
+// ExePath returns the conventional executable path for a program name on
+// an architecture (e.g. /bin/prog.sx86). The cross-ISA rewriter swaps the
+// suffix when retargeting the files image.
+func ExePath(name string, arch isa.Arch) string {
+	return "/bin/" + name + "." + arch.String()
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/stackmap"
+)
+
+// LiveUpdatePolicy implements dynamic software update (DSU), one of the
+// extension policies the paper names (§I: "other possible policies can be
+// live software updates"): the checkpointed process is rewritten to resume
+// under a *patched* binary of the same program. Code may change freely;
+// stacks are re-laid-out with the same engine as the cross-ISA transform,
+// using the old binary's metadata as the source side and the new binary's
+// as the destination.
+//
+// The patch must be state-compatible, which UpdateCompatibility verifies
+// from the two binaries' metadata:
+//
+//   - every function with frames on some stack still exists, with the same
+//     equivalence-point site ids and the same live-value sets (a patch may
+//     change bodies between calls, constants, and arithmetic, but not the
+//     call structure of frames that are live at the checkpoint);
+//   - existing globals keep their addresses (new globals may be appended).
+type LiveUpdatePolicy struct {
+	// NewExePath names the patched binary in the policy context's
+	// provider.
+	NewExePath string
+}
+
+// Name implements Policy.
+func (LiveUpdatePolicy) Name() string { return "live-update" }
+
+var _ Policy = LiveUpdatePolicy{}
+
+// UpdateCompatibility checks that new can adopt process state produced by
+// old. It returns nil when every function and global of old is
+// state-compatible in new.
+func UpdateCompatibility(oldBin, newBin binaryInfo) error {
+	oldMeta, newMeta := oldBin.metadata(), newBin.metadata()
+	for _, of := range oldMeta.Funcs {
+		nf, ok := newMeta.FuncByName(of.Name)
+		if !ok {
+			return fmt.Errorf("core: update removes function %q", of.Name)
+		}
+		if of.NumParams != nf.NumParams {
+			return fmt.Errorf("core: update changes arity of %q", of.Name)
+		}
+		if err := compatibleSites(of.Name, of.EntrySite, nf.EntrySite); err != nil {
+			return err
+		}
+		if len(of.CallSites) != len(nf.CallSites) {
+			return fmt.Errorf("core: update changes call structure of %q (%d -> %d sites)",
+				of.Name, len(of.CallSites), len(nf.CallSites))
+		}
+		for i := range of.CallSites {
+			if err := compatibleSites(of.Name, of.CallSites[i], nf.CallSites[i]); err != nil {
+				return err
+			}
+		}
+		for i := range of.Slots {
+			os := &of.Slots[i]
+			ns, ok := nf.SlotByID(os.ID)
+			if !ok || ns.Size != os.Size || ns.Ptr != os.Ptr {
+				return fmt.Errorf("core: update changes slot %d of %q", os.ID, of.Name)
+			}
+		}
+	}
+	for name, addr := range oldBin.symbols() {
+		if naddr, ok := newBin.symbols()[name]; ok && isData(addr) && naddr != addr {
+			return fmt.Errorf("core: update moves global %q (0x%x -> 0x%x)", name, addr, naddr)
+		} else if !ok && isData(addr) {
+			return fmt.Errorf("core: update removes global %q", name)
+		}
+	}
+	return nil
+}
+
+func isData(addr uint64) bool { return addr >= isa.DataBase && addr < isa.HeapBase }
+
+func compatibleSites(fn string, o, n *stackmap.Site) error {
+	if o == nil || n == nil {
+		if o != n {
+			return fmt.Errorf("core: update drops a site in %q", fn)
+		}
+		return nil
+	}
+	if o.ID != n.ID || o.Kind != n.Kind {
+		return fmt.Errorf("core: update renumbers site %d in %q", o.ID, fn)
+	}
+	if len(o.Live) != len(n.Live) {
+		return fmt.Errorf("core: update changes live set at site %d in %q", o.ID, fn)
+	}
+	for i := range o.Live {
+		if o.Live[i].SlotID != n.Live[i].SlotID || o.Live[i].Ptr != n.Live[i].Ptr {
+			return fmt.Errorf("core: update changes live value %d at site %d in %q", i, o.ID, fn)
+		}
+	}
+	return nil
+}
+
+// binaryInfo decouples the compatibility check from the compiler package
+// (compiler.Binary satisfies it).
+type binaryInfo interface {
+	metadata() *stackmap.Metadata
+	symbols() map[string]uint64
+}
+
+// binInfo adapts the concrete binary type.
+type binInfo struct {
+	meta *stackmap.Metadata
+	syms map[string]uint64
+}
+
+func (b binInfo) metadata() *stackmap.Metadata { return b.meta }
+func (b binInfo) symbols() map[string]uint64   { return b.syms }
+
+// Rewrite implements Policy.
+func (p LiveUpdatePolicy) Rewrite(dir *criu.ImageDir, ctx *Context) error {
+	invRaw, ok := dir.Get("inventory.img")
+	if !ok {
+		return fmt.Errorf("core: missing inventory.img")
+	}
+	inv, err := criu.UnmarshalInventory(invRaw)
+	if err != nil {
+		return err
+	}
+	filesRaw, ok := dir.Get("files.img")
+	if !ok {
+		return fmt.Errorf("core: missing files.img")
+	}
+	files, err := criu.UnmarshalFiles(filesRaw)
+	if err != nil {
+		return err
+	}
+	oldBin, err := ctx.Binaries.Open(files.ExePath)
+	if err != nil {
+		return err
+	}
+	newBin, err := ctx.Binaries.Open(p.NewExePath)
+	if err != nil {
+		return err
+	}
+	if newBin.Arch != inv.Arch {
+		return fmt.Errorf("core: patched binary is %v but process is %v", newBin.Arch, inv.Arch)
+	}
+	if err := UpdateCompatibility(
+		binInfo{oldBin.Meta, oldBin.Symbols},
+		binInfo{newBin.Meta, newBin.Symbols},
+	); err != nil {
+		return err
+	}
+
+	ps, err := criu.LoadPageSet(dir)
+	if err != nil {
+		return err
+	}
+	src := Side{Arch: inv.Arch, Meta: oldBin.Meta}
+	dst := Side{Arch: inv.Arch, Meta: newBin.Meta}
+	var newCores []*criu.CoreImage
+	for _, tid := range inv.TIDs {
+		raw, ok := dir.Get(criu.CoreName(tid))
+		if !ok {
+			return fmt.Errorf("core: missing %s", criu.CoreName(tid))
+		}
+		c, err := criu.UnmarshalCore(raw)
+		if err != nil {
+			return err
+		}
+		nc, err := RewriteThread(c, ps, src, dst)
+		if err != nil {
+			return fmt.Errorf("core: live-update thread %d: %w", tid, err)
+		}
+		newCores = append(newCores, nc)
+	}
+	// The patched text replaces the execution context; the rest reloads
+	// from the new executable at fault time.
+	ps.DropRange(isa.TextBase, isa.TextBase+uint64(maxLen(len(oldBin.Text), len(newBin.Text))))
+	for _, nc := range newCores {
+		pageAddr := nc.Regs.PC / mem.PageSize * mem.PageSize
+		off := pageAddr - isa.TextBase
+		end := off + mem.PageSize
+		if end > uint64(len(newBin.Text)) {
+			end = uint64(len(newBin.Text))
+		}
+		ps.InstallPage(pageAddr, newBin.Text[off:end])
+	}
+	if err := ps.WriteU64(isa.FlagAddr, 0); err != nil {
+		return err
+	}
+	for _, nc := range newCores {
+		dir.Put(criu.CoreName(nc.TID), nc.Marshal())
+	}
+	// The patched binary may have grown: widen the text/data VMAs so
+	// restore can load it (new globals appear as demand-zero pages).
+	mmRaw, ok := dir.Get("mm.img")
+	if !ok {
+		return fmt.Errorf("core: missing mm.img")
+	}
+	mm, err := criu.UnmarshalMM(mmRaw)
+	if err != nil {
+		return err
+	}
+	for i := range mm.VMAs {
+		v := &mm.VMAs[i]
+		switch {
+		case v.Start == isa.TextBase:
+			if end := isa.TextBase + roundPage(uint64(len(newBin.Text))); end > v.End {
+				v.End = end
+			}
+		case v.Start == isa.DataBase:
+			if end := isa.DataBase + roundPage(uint64(len(newBin.Data))); end > v.End {
+				v.End = end
+			}
+		}
+	}
+	dir.Put("mm.img", mm.Marshal())
+	files.ExePath = p.NewExePath
+	dir.Put("files.img", files.Marshal())
+	ps.Store(dir)
+	return nil
+}
+
+func roundPage(n uint64) uint64 { return (n + mem.PageSize - 1) / mem.PageSize * mem.PageSize }
+
+func maxLen(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/mem"
+)
+
+// Context supplies a policy's environment: how to resolve executables.
+type Context struct {
+	Binaries criu.BinaryProvider
+}
+
+// Policy transforms a checkpoint image directory in place. Policies are
+// DAPPER's extensibility point: cross-ISA migration and stack shuffling
+// are the two the paper evaluates; NopPolicy demonstrates the plumbing.
+type Policy interface {
+	Name() string
+	Rewrite(dir *criu.ImageDir, ctx *Context) error
+}
+
+// NopPolicy decodes and re-encodes the images without changing state —
+// the minimal policy, useful as a baseline and a plumbing test.
+type NopPolicy struct{}
+
+// Name implements Policy.
+func (NopPolicy) Name() string { return "nop" }
+
+// Rewrite implements Policy.
+func (NopPolicy) Rewrite(dir *criu.ImageDir, _ *Context) error {
+	ps, err := criu.LoadPageSet(dir)
+	if err != nil {
+		return err
+	}
+	ps.Store(dir)
+	return nil
+}
+
+var _ Policy = NopPolicy{}
+
+// CrossISAPolicy rewrites the image so the process restores on the other
+// architecture: registers are translated through the stack maps, every
+// thread's stack is rebuilt under the destination ABI, the TLS register is
+// rebased, the execution-context code pages are replaced with the
+// destination binary's, and the files image is retargeted to the
+// destination executable.
+type CrossISAPolicy struct {
+	// Target selects the destination architecture; zero means "the other
+	// one".
+	Target isa.Arch
+}
+
+// Name implements Policy.
+func (p CrossISAPolicy) Name() string { return "cross-isa" }
+
+var _ Policy = CrossISAPolicy{}
+
+// SwapExeArch rewrites /bin/name.<arch> for the destination architecture.
+func SwapExeArch(path string, dst isa.Arch) string {
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		return path[:i+1] + dst.String()
+	}
+	return path + "." + dst.String()
+}
+
+// Rewrite implements Policy.
+func (p CrossISAPolicy) Rewrite(dir *criu.ImageDir, ctx *Context) error {
+	invRaw, ok := dir.Get("inventory.img")
+	if !ok {
+		return fmt.Errorf("core: missing inventory.img")
+	}
+	inv, err := criu.UnmarshalInventory(invRaw)
+	if err != nil {
+		return err
+	}
+	srcArch := inv.Arch
+	dstArch := p.Target
+	if dstArch == 0 {
+		dstArch = srcArch.Other()
+	}
+	if dstArch == srcArch {
+		return fmt.Errorf("core: cross-ISA rewrite to the same architecture %v", srcArch)
+	}
+
+	filesRaw, ok := dir.Get("files.img")
+	if !ok {
+		return fmt.Errorf("core: missing files.img")
+	}
+	files, err := criu.UnmarshalFiles(filesRaw)
+	if err != nil {
+		return err
+	}
+	srcBin, err := ctx.Binaries.Open(files.ExePath)
+	if err != nil {
+		return err
+	}
+	dstPath := SwapExeArch(files.ExePath, dstArch)
+	dstBin, err := ctx.Binaries.Open(dstPath)
+	if err != nil {
+		return err
+	}
+
+	ps, err := criu.LoadPageSet(dir)
+	if err != nil {
+		return err
+	}
+	src := Side{Arch: srcArch, Meta: srcBin.Meta}
+	dst := Side{Arch: dstArch, Meta: dstBin.Meta}
+
+	var newCores []*criu.CoreImage
+	for _, tid := range inv.TIDs {
+		raw, ok := dir.Get(criu.CoreName(tid))
+		if !ok {
+			return fmt.Errorf("core: missing %s", criu.CoreName(tid))
+		}
+		c, err := criu.UnmarshalCore(raw)
+		if err != nil {
+			return err
+		}
+		nc, err := RewriteThread(c, ps, src, dst)
+		if err != nil {
+			return fmt.Errorf("core: thread %d: %w", tid, err)
+		}
+		newCores = append(newCores, nc)
+	}
+
+	// Replace the execution-context code pages with the destination
+	// architecture's instructions.
+	ps.DropRange(isa.TextBase, isa.TextBase+uint64(len(dstBin.Text)))
+	for _, nc := range newCores {
+		pageAddr := nc.Regs.PC / mem.PageSize * mem.PageSize
+		off := pageAddr - isa.TextBase
+		end := off + mem.PageSize
+		if end > uint64(len(dstBin.Text)) {
+			end = uint64(len(dstBin.Text))
+		}
+		ps.InstallPage(pageAddr, dstBin.Text[off:end])
+	}
+
+	// Clear the transformation flag inside the dumped data page so the
+	// restored checkers fall through.
+	if err := ps.WriteU64(isa.FlagAddr, 0); err != nil {
+		return fmt.Errorf("core: clear flag: %w", err)
+	}
+
+	for _, nc := range newCores {
+		dir.Put(criu.CoreName(nc.TID), nc.Marshal())
+	}
+	inv.Arch = dstArch
+	dir.Put("inventory.img", inv.Marshal())
+	files.ExePath = dstPath
+	dir.Put("files.img", files.Marshal())
+	ps.Store(dir)
+	return nil
+}

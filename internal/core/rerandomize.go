@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/monitor"
+	"github.com/dapper-sim/dapper/internal/stackmap"
+)
+
+// Rerandomizer drives the paper's periodic stack re-randomization (§I:
+// "periodically re-randomizing the function call stack"): at each epoch it
+// pauses the process at equivalence points, checkpoints it, applies a
+// fresh stack shuffle to the image and the binary, and restores the
+// process in place on the same kernel. Because each epoch rewrites from
+// the *current* layout to a newly drawn one, an attacker's knowledge decays
+// every interval.
+type Rerandomizer struct {
+	K        *kernel.Kernel
+	Binaries criu.MapProvider
+	// Meta tracks the process's CURRENT metadata (updated every epoch).
+	Meta *stackmap.Metadata
+	// Seed is advanced every epoch.
+	Seed int64
+	// MaxPauses bounds each epoch's wait for quiescence.
+	MaxPauses int
+	// Epochs counts completed re-randomizations.
+	Epochs int
+	// LastBits is the entropy introduced by the latest epoch.
+	LastBits float64
+}
+
+// Step performs one re-randomization epoch on p, returning the restored
+// process (the old process object is dead afterwards).
+func (r *Rerandomizer) Step(p *kernel.Process) (*kernel.Process, error) {
+	if r.MaxPauses == 0 {
+		r.MaxPauses = 1 << 22
+	}
+	mon := monitor.New(r.K, p, r.Meta)
+	if err := mon.Pause(r.MaxPauses); err != nil {
+		return nil, fmt.Errorf("core: rerandomize epoch %d: %w", r.Epochs, err)
+	}
+	dir, err := criu.Dump(p, criu.DumpOpts{})
+	if err != nil {
+		return nil, fmt.Errorf("core: rerandomize epoch %d: %w", r.Epochs, err)
+	}
+	r.Seed++
+	var report ShuffleReport
+	pol := StackShufflePolicy{Seed: r.Seed, Report: &report}
+	if err := pol.Rewrite(dir, &Context{Binaries: r.Binaries}); err != nil {
+		return nil, fmt.Errorf("core: rerandomize epoch %d: %w", r.Epochs, err)
+	}
+	np, err := criu.Restore(r.K, dir, r.Binaries)
+	if err != nil {
+		return nil, fmt.Errorf("core: rerandomize epoch %d: %w", r.Epochs, err)
+	}
+	// The process now runs the freshly instrumented binary; subsequent
+	// epochs must unwind with ITS metadata.
+	filesRaw, _ := dir.Get("files.img")
+	files, err := criu.UnmarshalFiles(filesRaw)
+	if err != nil {
+		return nil, err
+	}
+	bin, err := r.Binaries.Open(files.ExePath)
+	if err != nil {
+		return nil, err
+	}
+	r.Meta = bin.Meta
+	r.Epochs++
+	r.LastBits = report.AvgBitsApp
+	return np, nil
+}

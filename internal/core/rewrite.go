@@ -1,0 +1,399 @@
+// Package core implements the DAPPER process rewriter: it transforms a
+// CRIU image directory — registers, call stacks, TLS, code pages, and the
+// executable reference — according to a transformation policy, entirely
+// outside the target process.
+//
+// The central engine, RewriteThread, unwinds a thread's source stack using
+// the stack-map metadata and rebuilds it under a destination layout:
+//
+//   - registers holding live values at the entry equivalence point are
+//     translated via the per-ISA DWARF locations (paper Fig. 4);
+//   - each suspended caller frame is located by its return address, its
+//     live slots copied to the destination frame offsets, and the frame
+//     header (saved FP + return address) re-created per the destination
+//     ABI (return address on the stack for SX86, in LR for SARM);
+//   - pointers into the source stack are remapped to the allocation's
+//     destination address;
+//   - the TLS register is rebased to the destination libc's bias.
+//
+// The same engine performs cross-ISA transformation (source and
+// destination differ in architecture) and stack shuffling (same
+// architecture, permuted slot offsets).
+package core
+
+import (
+	"fmt"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/stackmap"
+)
+
+// Side describes one side (source or destination) of a rewrite: an
+// architecture plus the metadata describing frame layouts on it.
+type Side struct {
+	Arch isa.Arch
+	Meta *stackmap.Metadata
+}
+
+func (s Side) abi() *isa.ABI { return isa.ABIFor(s.Arch) }
+func (s Side) idx() int      { return stackmap.ArchIdx(s.Arch) }
+
+// frame is one unwound stack frame. Source-side metadata (fn/site) drives
+// unwinding; destination-side metadata (dstFn/dstSite) drives the rebuild —
+// they are the same content for cross-ISA rewrites (shared metadata,
+// different arch index) but differ for stack shuffling (permuted offsets,
+// same arch).
+type frame struct {
+	fn      *stackmap.Func
+	site    *stackmap.Site
+	dstFn   *stackmap.Func
+	dstSite *stackmap.Site
+	// fpSrc is the source frame pointer (zero for the innermost frame,
+	// whose prologue has not run).
+	fpSrc uint64
+	// fpDst is assigned during rebuild (frames[0] has none).
+	fpDst uint64
+	// calleeEntrySP is the destination SP at the entry of this frame's
+	// callee.
+	calleeEntrySP uint64
+}
+
+// resolveDst fills the destination-side fields of a frame.
+func (fr *frame) resolveDst(dst Side) error {
+	dstFn, ok := dst.Meta.FuncByName(fr.fn.Name)
+	if !ok {
+		return fmt.Errorf("core: destination metadata missing %q", fr.fn.Name)
+	}
+	fr.dstFn = dstFn
+	if fr.site.Kind == stackmap.SiteEntry {
+		fr.dstSite = dstFn.EntrySite
+		return nil
+	}
+	for _, cs := range dstFn.CallSites {
+		if cs.ID == fr.site.ID {
+			fr.dstSite = cs
+			return nil
+		}
+	}
+	return fmt.Errorf("core: destination metadata missing site %d in %q", fr.site.ID, fr.fn.Name)
+}
+
+type bottomKind uint8
+
+const (
+	bottomStart      bottomKind = iota + 1 // main thread: outermost is _start
+	bottomThreadExit                       // spawned thread: returns into __thread_exit
+)
+
+// stackSnapshot reads the source stack out of the page set before the
+// destination layout overwrites it.
+type stackSnapshot struct {
+	low, high uint64
+	pages     map[uint64][]byte
+}
+
+func snapshotStack(ps *criu.PageSet, low, high uint64) *stackSnapshot {
+	s := &stackSnapshot{low: low, high: high, pages: make(map[uint64][]byte)}
+	for a := low; a < high; a += mem.PageSize {
+		if pg, ok := ps.Pages[a]; ok && pg != nil {
+			cp := make([]byte, mem.PageSize)
+			copy(cp, pg)
+			s.pages[a] = cp
+		}
+	}
+	return s
+}
+
+func (s *stackSnapshot) readU64(addr uint64) (uint64, error) {
+	if addr < s.low || addr+8 > s.high {
+		return 0, fmt.Errorf("core: stack read at 0x%x outside [0x%x, 0x%x)", addr, s.low, s.high)
+	}
+	pg, ok := s.pages[addr/mem.PageSize*mem.PageSize]
+	if !ok {
+		return 0, nil // demand-zero page
+	}
+	off := addr % mem.PageSize
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(pg[off+uint64(i)])
+	}
+	return v, nil
+}
+
+// RewriteThread transforms one thread's state from src to dst layout. It
+// rewrites the thread's stack pages inside ps and returns the new core
+// image. The thread must be parked at an entry equivalence point.
+func RewriteThread(core *criu.CoreImage, ps *criu.PageSet, src, dst Side) (*criu.CoreImage, error) {
+	if core.Arch != src.Arch {
+		return nil, fmt.Errorf("core: thread %d dumped as %v, rewrite source is %v", core.TID, core.Arch, src.Arch)
+	}
+	srcABI, dstABI := src.abi(), dst.abi()
+	si, di := src.idx(), dst.idx()
+	regs := core.Regs
+
+	entrySite, ok := src.Meta.SiteByTrapPC(src.Arch, regs.PC)
+	if !ok {
+		return nil, fmt.Errorf("core: thread %d PC 0x%x is not an equivalence point", core.TID, regs.PC)
+	}
+	entryFn, ok := src.Meta.FuncByName(entrySite.Func)
+	if !ok {
+		return nil, fmt.Errorf("core: no metadata for %q", entrySite.Func)
+	}
+	threadExitFn, ok := src.Meta.FuncByName("__thread_exit")
+	if !ok {
+		return nil, fmt.Errorf("core: missing __thread_exit metadata")
+	}
+
+	snap := snapshotStack(ps, core.StackLow, core.StackHigh)
+
+	// --- Unwind ---
+	frames := []*frame{{fn: entryFn, site: entrySite}}
+	var bottom bottomKind
+	retaddr := uint64(0)
+	haveRet := false
+	if srcABI.RetAddrOnStack {
+		if regs.R[srcABI.SP] >= core.StackHigh {
+			// RET already consumed the trampoline return address: this is
+			// __thread_exit (or an empty main stack).
+			bottom = bottomThreadExit
+		} else {
+			v, err := snap.readU64(regs.R[srcABI.SP])
+			if err != nil {
+				return nil, err
+			}
+			retaddr, haveRet = v, true
+		}
+	} else {
+		retaddr, haveRet = regs.R[srcABI.LR], true
+	}
+	fp := regs.R[srcABI.FP]
+	for haveRet {
+		if retaddr == threadExitFn.Addr {
+			bottom = bottomThreadExit
+			break
+		}
+		csite, ok := src.Meta.SiteByRetAddr(src.Arch, retaddr)
+		if !ok {
+			return nil, fmt.Errorf("core: thread %d: return address 0x%x matches no call site", core.TID, retaddr)
+		}
+		cfn, _ := src.Meta.FuncByName(csite.Func)
+		frames = append(frames, &frame{fn: cfn, site: csite, fpSrc: fp})
+		if cfn.Name == "_start" {
+			bottom = bottomStart
+			break
+		}
+		next, err := snap.readU64(fp + 8)
+		if err != nil {
+			return nil, err
+		}
+		nfp, err := snap.readU64(fp)
+		if err != nil {
+			return nil, err
+		}
+		retaddr, fp = next, nfp
+	}
+	if bottom == 0 {
+		if len(frames) == 1 && frames[0].fn.Name == "_start" {
+			bottom = bottomStart
+		} else {
+			return nil, fmt.Errorf("core: thread %d: stack walk did not reach a bottom frame", core.TID)
+		}
+	}
+
+	for _, fr := range frames {
+		if err := fr.resolveDst(dst); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Compute destination frame pointers, outermost first ---
+	outer := len(frames) - 1
+	entrySP := core.StackHigh
+	if bottom == bottomThreadExit && dstABI.RetAddrOnStack && len(frames) > 1 {
+		// The spawn trampoline return address occupies one slot on
+		// architectures that keep return addresses on the stack.
+		entrySP -= 8
+	}
+	for i := outer; i >= 1; i-- {
+		fr := frames[i]
+		if dstABI.RetAddrOnStack {
+			fr.fpDst = entrySP - 8
+			spAfter := fr.fpDst - uint64(fr.dstFn.FrameLocal[di])
+			fr.calleeEntrySP = spAfter - 8 // CALL pushes the return address
+		} else {
+			spAfter := entrySP - uint64(fr.dstFn.FrameLocal[di]) - 16
+			fr.fpDst = spAfter + uint64(fr.dstFn.FrameLocal[di])
+			fr.calleeEntrySP = spAfter
+		}
+		entrySP = fr.calleeEntrySP
+	}
+
+	// remap translates a source-stack pointer to its destination address.
+	// Containment is checked strictly first; a one-past-the-end pointer
+	// (the C idiom &a[n]) is only attributed to a slot when no slot
+	// strictly contains the address — otherwise a pointer at the boundary
+	// of two adjacent slots would be remapped with the wrong base.
+	remap := func(val uint64) (uint64, error) {
+		if val < core.StackLow || val >= core.StackHigh {
+			return val, nil // heap/global/code pointers stay valid (aligned layout)
+		}
+		lookup := func(inclusiveEnd bool) (uint64, bool, error) {
+			for i := 1; i < len(frames); i++ {
+				fr := frames[i]
+				for si2 := range fr.fn.Slots {
+					s := &fr.fn.Slots[si2]
+					start := fr.fpSrc - uint64(s.Off[si])
+					end := start + uint64(s.Size)
+					if val >= start && (val < end || (inclusiveEnd && val == end)) {
+						ds, ok := fr.dstFn.SlotByID(s.ID)
+						if !ok {
+							return 0, false, fmt.Errorf("core: destination missing slot %d in %q", s.ID, fr.fn.Name)
+						}
+						return fr.fpDst - uint64(ds.Off[di]) + (val - start), true, nil
+					}
+				}
+			}
+			return 0, false, nil
+		}
+		if dest, ok, err := lookup(false); err != nil || ok {
+			return dest, err
+		}
+		if dest, ok, err := lookup(true); err != nil || ok {
+			return dest, err
+		}
+		return 0, fmt.Errorf("core: stack pointer 0x%x matches no live allocation", val)
+	}
+
+	// --- Rebuild the destination stack ---
+	ps.DropRange(core.StackLow, core.StackHigh)
+	write := func(addr, v uint64) error {
+		if addr < core.StackLow || addr+8 > core.StackHigh {
+			return fmt.Errorf("core: stack write at 0x%x outside stack", addr)
+		}
+		return ps.WriteU64(addr, v)
+	}
+	for i := outer; i >= 1; i-- {
+		fr := frames[i]
+		// Frame header: saved FP and this frame's own return address.
+		callerFP := uint64(0)
+		ownRet := uint64(0)
+		if i+1 <= outer {
+			callerFP = frames[i+1].fpDst
+			ownRet = frames[i+1].dstSite.PCs[di].RetAddr
+		} else if bottom == bottomThreadExit {
+			ownRet = threadExitFn.Addr
+		}
+		if err := write(fr.fpDst, callerFP); err != nil {
+			return nil, err
+		}
+		if fr.fpDst+16 <= core.StackHigh {
+			if err := write(fr.fpDst+8, ownRet); err != nil {
+				return nil, err
+			}
+		}
+		// Live values at this frame's call site. Destination locations
+		// come from the destination site record (they differ under a
+		// shuffled layout).
+		dstLoc := make(map[int]stackmap.Location, len(fr.dstSite.Live))
+		for _, dlv := range fr.dstSite.Live {
+			dstLoc[dlv.SlotID] = dlv.Loc[di]
+		}
+		for _, lv := range fr.site.Live {
+			slot, ok := fr.fn.SlotByID(lv.SlotID)
+			if !ok {
+				return nil, fmt.Errorf("core: %s: no slot %d", fr.fn.Name, lv.SlotID)
+			}
+			dloc, ok := dstLoc[lv.SlotID]
+			if !ok {
+				return nil, fmt.Errorf("core: %s: destination site missing slot %d", fr.fn.Name, lv.SlotID)
+			}
+			srcBase := fr.fpSrc - uint64(lv.Loc[si].FrameOff)
+			dstBase := fr.fpDst - uint64(dloc.FrameOff)
+			for off := int64(0); off < slot.Size; off += 8 {
+				val, err := snap.readU64(srcBase + uint64(off))
+				if err != nil {
+					return nil, err
+				}
+				if lv.Ptr {
+					val, err = remap(val)
+					if err != nil {
+						return nil, fmt.Errorf("core: %s slot %s: %w", fr.fn.Name, slot.Name, err)
+					}
+				}
+				if err := write(dstBase+uint64(off), val); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// --- Innermost frame: entry register state ---
+	var newRegs isa.RegFile
+	entryDstLoc := make(map[int]stackmap.Location, len(frames[0].dstSite.Live))
+	for _, dlv := range frames[0].dstSite.Live {
+		entryDstLoc[dlv.SlotID] = dlv.Loc[di]
+	}
+	for _, lv := range frames[0].site.Live {
+		val := regs.R[srcABI.RegFromDwarf(lv.Loc[si].DwarfReg)]
+		if lv.Ptr {
+			var err error
+			val, err = remap(val)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s param %d: %w", frames[0].fn.Name, lv.SlotID, err)
+			}
+		}
+		dloc, ok := entryDstLoc[lv.SlotID]
+		if !ok {
+			return nil, fmt.Errorf("core: %s: destination entry site missing param %d", frames[0].fn.Name, lv.SlotID)
+		}
+		newRegs.R[dstABI.RegFromDwarf(dloc.DwarfReg)] = val
+	}
+	spDst := entrySP
+	if len(frames) == 1 {
+		// No caller frames: reconstruct the thread-start state.
+		switch {
+		case frames[0].fn.Name == "__thread_exit":
+			// The trampoline return address was consumed by RET.
+			spDst = core.StackHigh
+			if !dstABI.RetAddrOnStack {
+				newRegs.R[dstABI.LR] = threadExitFn.Addr
+			}
+		case bottom == bottomThreadExit:
+			// A spawned function at its entry: the trampoline address is
+			// pending.
+			if dstABI.RetAddrOnStack {
+				spDst = core.StackHigh - 8
+				if err := write(spDst, threadExitFn.Addr); err != nil {
+					return nil, err
+				}
+			} else {
+				spDst = core.StackHigh
+				newRegs.R[dstABI.LR] = threadExitFn.Addr
+			}
+		default:
+			// _start at its entry: empty stack, no return address.
+			spDst = core.StackHigh
+		}
+	} else {
+		innerRet := frames[1].dstSite.PCs[di].RetAddr
+		if dstABI.RetAddrOnStack {
+			// spDst already accounts for the slot the CALL pushed.
+			if err := write(spDst, innerRet); err != nil {
+				return nil, err
+			}
+		} else {
+			newRegs.R[dstABI.LR] = innerRet
+		}
+		newRegs.R[dstABI.FP] = frames[1].fpDst
+	}
+	newRegs.R[dstABI.SP] = spDst
+	newRegs.PC = frames[0].dstFn.EntrySite.PCs[di].TrapPC
+	newRegs.TLS = dstABI.TLSRegValue(srcABI.TLSBlockStart(regs.TLS))
+
+	out := *core
+	out.Arch = dst.Arch
+	out.Regs = newRegs
+	return &out, nil
+}

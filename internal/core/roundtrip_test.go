@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/core"
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/monitor"
+)
+
+// TestDoubleMigration bounces a process x86 -> arm -> x86 with more work
+// between the hops; the final output must still equal the native run.
+// This exercises the rewriter consuming its own output.
+func TestDoubleMigration(t *testing.T) {
+	w := buildWorld(t, "bounce", countdownSrc)
+	want, cycles := w.runNative(t, isa.SX86, 1)
+
+	hop := func(p *kernel.Process, k *kernel.Kernel, to isa.Arch) (*kernel.Process, *kernel.Kernel) {
+		t.Helper()
+		// Meta follows the current binary (unchanged addresses/content
+		// for cross-ISA hops).
+		mon := monitor.New(k, p, w.pair.Meta)
+		if err := mon.Pause(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		dir, err := criu.Dump(p, criu.DumpOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol := core.CrossISAPolicy{Target: to}
+		if err := pol.Rewrite(dir, &core.Context{Binaries: w.provider}); err != nil {
+			t.Fatal(err)
+		}
+		k2 := kernel.New(kernel.Config{})
+		p2, err := criu.Restore(k2, dir, w.provider)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p2, k2
+	}
+
+	k1, p1 := w.start(t, isa.SX86, 1)
+	if _, err := k1.RunBudget(p1, cycles/4); err != nil {
+		t.Fatal(err)
+	}
+	out := p1.ConsoleString()
+	p2, k2 := hop(p1, k1, isa.SARM)
+	if _, err := k2.RunBudget(p2, cycles/4); err != nil {
+		t.Fatal(err)
+	}
+	out += p2.ConsoleString()
+	p3, k3 := hop(p2, k2, isa.SX86)
+	if err := k3.Run(p3); err != nil {
+		t.Fatal(err)
+	}
+	out += p3.ConsoleString()
+	if out != want {
+		t.Errorf("double migration output:\n got %q\nwant %q", out, want)
+	}
+	if p3.Arch != isa.SX86 {
+		t.Errorf("final arch %v", p3.Arch)
+	}
+}
+
+// TestMigrateThenShuffle chains two policies on one checkpoint: cross-ISA
+// rewrite followed by a stack shuffle of the destination image — the
+// paper's composability claim in one test.
+func TestMigrateThenShuffle(t *testing.T) {
+	w := buildWorld(t, "chain", shuffleSrc)
+	want, cycles := w.runNative(t, isa.SX86, 1)
+
+	k1, p1 := w.start(t, isa.SX86, 1)
+	if _, err := k1.RunBudget(p1, cycles/2); err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(k1, p1, w.pair.Meta)
+	if err := mon.Pause(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := criu.Dump(p1, criu.DumpOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p1.ConsoleString()
+
+	cross := core.CrossISAPolicy{}
+	if err := cross.Rewrite(dir, &core.Context{Binaries: w.provider}); err != nil {
+		t.Fatal(err)
+	}
+	var report core.ShuffleReport
+	shuf := core.StackShufflePolicy{Seed: 5, Report: &report}
+	if err := shuf.Rewrite(dir, &core.Context{Binaries: w.provider}); err != nil {
+		t.Fatal(err)
+	}
+	if report.AvgBitsApp <= 0 {
+		t.Error("chained shuffle introduced no entropy")
+	}
+	k2 := kernel.New(kernel.Config{})
+	p2, err := criu.Restore(k2, dir, w.provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Arch != isa.SARM {
+		t.Fatalf("restored on %v", p2.Arch)
+	}
+	if err := k2.Run(p2); err != nil {
+		t.Fatal(err)
+	}
+	if got := out + p2.ConsoleString(); got != want {
+		t.Errorf("migrate+shuffle output:\n got %q\nwant %q", got, want)
+	}
+}

@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/dapper-sim/dapper/internal/core"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/stackmap"
+	"github.com/dapper-sim/dapper/internal/workloads"
+)
+
+// TestShufflePermutationProperty: for arbitrary seeds, shuffling must
+// produce a valid permutation of each function's frame — same offset
+// multiset, sizes respected, excluded slots untouched, and live-value
+// locations consistent with the slot table.
+func TestShufflePermutationProperty(t *testing.T) {
+	w, err := workloads.Get("linpack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := workloads.CompilePair(w, workloads.ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(seed int64) bool {
+		for _, arch := range []isa.Arch{isa.SX86, isa.SARM} {
+			bin := pair.ByArch(arch)
+			ai := stackmap.ArchIdx(arch)
+			shuffled, _, err := core.ShuffleBinary(bin, seed)
+			if err != nil {
+				return false
+			}
+			for fi, of := range bin.Meta.Funcs {
+				nf := shuffled.Meta.Funcs[fi]
+				if of.Name != nf.Name {
+					// Clone preserves order; Index may re-sort by address,
+					// which is also order-preserving here.
+					nf2, ok := shuffled.Meta.FuncByName(of.Name)
+					if !ok {
+						return false
+					}
+					nf = nf2
+				}
+				oldOffs := map[int64]int{}
+				newOffs := map[int64]int{}
+				for i := range of.Slots {
+					os, ns := &of.Slots[i], &nf.Slots[i]
+					if os.ID != ns.ID || os.Size != ns.Size || os.Ptr != ns.Ptr {
+						return false
+					}
+					oldOffs[os.Off[ai]]++
+					newOffs[ns.Off[ai]]++
+					// Excluded slots must not move.
+					if os.PairAccessed[ai] && os.Off[ai] != ns.Off[ai] {
+						return false
+					}
+					// A moved slot must land on an equal-size peer's offset.
+					if os.Off[ai] != ns.Off[ai] {
+						found := false
+						for j := range of.Slots {
+							if of.Slots[j].Off[ai] == ns.Off[ai] && of.Slots[j].Size == os.Size {
+								found = true
+							}
+						}
+						if !found {
+							return false
+						}
+					}
+				}
+				// Offsets are a permutation.
+				if len(oldOffs) != len(newOffs) {
+					return false
+				}
+				for off, n := range oldOffs {
+					if newOffs[off] != n {
+						return false
+					}
+				}
+				// Live-value frame locations agree with the slot table.
+				checkSite := func(s *stackmap.Site) bool {
+					if s == nil {
+						return true
+					}
+					for _, lv := range s.Live {
+						if lv.Loc[ai].InReg {
+							continue
+						}
+						slot, ok := nf.SlotByID(lv.SlotID)
+						if !ok || slot.Off[ai] != lv.Loc[ai].FrameOff {
+							return false
+						}
+					}
+					return true
+				}
+				if !checkSite(nf.EntrySite) {
+					return false
+				}
+				for _, cs := range nf.CallSites {
+					if !checkSite(cs) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMetadataCloneIsDeep: mutating a clone must not leak into the
+// original (the shuffler depends on this).
+func TestMetadataCloneIsDeep(t *testing.T) {
+	w, err := workloads.Get("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := workloads.CompilePair(w, workloads.ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := pair.X86.Meta
+	clone := orig.Clone()
+	cf := clone.Funcs[0]
+	before := orig.Funcs[0].Slots
+	if len(cf.Slots) > 0 {
+		cf.Slots[0].Off[0] += 1000
+	}
+	if cf.EntrySite != nil && len(cf.EntrySite.Live) > 0 {
+		cf.EntrySite.Live[0].Loc[0].FrameOff += 1000
+	}
+	// Find the original function with the same name (Clone re-sorts).
+	of, _ := orig.FuncByName(cf.Name)
+	if len(before) > 0 && of.Slots[0].Off[0] != before[0].Off[0] {
+		t.Error("clone shares slot storage with original")
+	}
+	if of.EntrySite != nil && len(of.EntrySite.Live) > 0 &&
+		cf.EntrySite.Live[0].Loc[0].FrameOff == of.EntrySite.Live[0].Loc[0].FrameOff {
+		t.Error("clone shares live-value storage with original")
+	}
+}

@@ -1,0 +1,237 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/core"
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/monitor"
+	"github.com/dapper-sim/dapper/internal/stackmap"
+)
+
+// shuffleSrc has functions with many same-size slots and stack arrays —
+// the shuffling candidates — plus live pointers across calls.
+const shuffleSrc = `
+func mix(a int, b int) int {
+	var t1 int;
+	var t2 int;
+	var t3 int;
+	var t4 int;
+	var buf[8] int;
+	var i int;
+	t1 = a + b;
+	t2 = a - b;
+	t3 = a * 2;
+	t4 = b * 3;
+	for i = 0; i < 8; i = i + 1 {
+		buf[i] = t1 + i * t2;
+	}
+	return buf[3] + t3 + t4 + buf[7];
+}
+
+func scan(p *int, n int) int {
+	var acc int;
+	var j int;
+	for j = 0; j < n; j = j + 1 {
+		acc = acc + p[j];
+	}
+	return acc;
+}
+
+func main() {
+	var data[16] int;
+	var r int;
+	var out int;
+	for r = 0; r < 25; r = r + 1 {
+		data[r % 16] = mix(r, r + 2);
+		out = out + scan(&data[0], 16);
+		printi(out % 10000);
+		print(" ");
+	}
+	print("fin\n");
+}`
+
+func TestShuffleBinaryChangesLayout(t *testing.T) {
+	w := buildWorld(t, "shuf", shuffleSrc)
+	for _, arch := range []isa.Arch{isa.SX86, isa.SARM} {
+		bin := w.pair.ByArch(arch)
+		shuffled, report, err := core.ShuffleBinary(bin, 42)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		if report.AvgBits <= 0 {
+			t.Errorf("%v: no entropy introduced: %+v", arch, report)
+		}
+		if report.Patched == 0 {
+			t.Errorf("%v: SBI patched no instructions", arch)
+		}
+		// mix() has >=6 same-size scalar slots: its frame must change.
+		of, _ := bin.Meta.FuncByName("mix")
+		nf, _ := shuffled.Meta.FuncByName("mix")
+		ai := stackmap.ArchIdx(arch)
+		changed := 0
+		for i := range of.Slots {
+			if of.Slots[i].Off[ai] != nf.Slots[i].Off[ai] {
+				changed++
+			}
+		}
+		if changed < 2 {
+			t.Errorf("%v: only %d slots moved in mix()", arch, changed)
+		}
+		if len(shuffled.Text) != len(bin.Text) {
+			t.Errorf("%v: text size changed by SBI", arch)
+		}
+	}
+}
+
+// TestShuffledBinaryRunsCorrectly runs the instrumented binary from
+// scratch: the permuted layout must be semantics-preserving.
+func TestShuffledBinaryRunsCorrectly(t *testing.T) {
+	w := buildWorld(t, "shufrun", shuffleSrc)
+	want, _ := w.runNative(t, isa.SX86, 1)
+	for _, arch := range []isa.Arch{isa.SX86, isa.SARM} {
+		for seed := int64(1); seed <= 5; seed++ {
+			bin := w.pair.ByArch(arch)
+			shuffled, _, err := core.ShuffleBinary(bin, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := kernel.New(kernel.Config{})
+			p, err := k.StartProcess(shuffled.LoadSpec("/bin/s"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Run(p); err != nil {
+				t.Fatalf("%v seed %d: %v", arch, seed, err)
+			}
+			if got := p.ConsoleString(); got != want {
+				t.Errorf("%v seed %d: output %q, want %q", arch, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestShufflePolicyMidRun checkpoints mid-run, shuffles the image (stack
+// contents + code pages + binary), restores, and requires identical
+// output — the paper's live re-randomization.
+func TestShufflePolicyMidRun(t *testing.T) {
+	for _, arch := range []isa.Arch{isa.SX86, isa.SARM} {
+		w := buildWorld(t, "shufmid", shuffleSrc)
+		want, cycles := w.runNative(t, arch, 1)
+		for _, frac := range []float64{0.2, 0.5, 0.8} {
+			for seed := int64(7); seed <= 9; seed++ {
+				k1, p1 := w.start(t, arch, 1)
+				if _, err := k1.RunBudget(p1, uint64(float64(cycles)*frac)); err != nil {
+					t.Fatal(err)
+				}
+				if p1.Exited {
+					continue
+				}
+				mon := monitor.New(k1, p1, w.pair.Meta)
+				if err := mon.Pause(1 << 20); err != nil {
+					t.Fatal(err)
+				}
+				dir, err := criu.Dump(p1, criu.DumpOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				out1 := p1.ConsoleString()
+				var report core.ShuffleReport
+				pol := core.StackShufflePolicy{Seed: seed, Report: &report}
+				if err := pol.Rewrite(dir, &core.Context{Binaries: w.provider}); err != nil {
+					t.Fatalf("%v frac %.1f seed %d: %v", arch, frac, seed, err)
+				}
+				k2 := kernel.New(kernel.Config{})
+				p2, err := criu.Restore(k2, dir, w.provider)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := k2.Run(p2); err != nil {
+					t.Fatalf("%v frac %.1f seed %d: post-shuffle run: %v", arch, frac, seed, err)
+				}
+				if got := out1 + p2.ConsoleString(); got != want {
+					t.Errorf("%v frac %.1f seed %d: got %q want %q", arch, frac, seed, got, want)
+				}
+				// Re-register original binaries for the next iteration
+				// (the policy replaced them with instrumented ones).
+				w.provider.Register(archPath(w, arch), w.pair.ByArch(arch))
+			}
+		}
+	}
+}
+
+func archPath(w *world, arch isa.Arch) string {
+	for path, b := range w.provider {
+		if b.Arch == arch {
+			return path
+		}
+	}
+	return ""
+}
+
+// TestArmEntropyLowerThanX86 reproduces the Fig. 10 asymmetry: SARM
+// excludes LDP/STP pair-accessed slots, so it gains fewer bits.
+func TestArmEntropyLowerThanX86(t *testing.T) {
+	// Functions with 2-3 parameters give SARM pair-stored slots.
+	src := `
+func f3(a int, b int, c int) int {
+	var x int;
+	var y int;
+	var z int;
+	x = a + b;
+	y = b + c;
+	z = a + c;
+	return x * y + z;
+}
+func f2(a int, b int) int {
+	var u int;
+	var v int;
+	u = a * b;
+	v = a - b;
+	return u + v;
+}
+func main() {
+	printi(f3(1, 2, 3) + f2(4, 5));
+}`
+	w := buildWorld(t, "entropy", src)
+	_, rx, err := core.ShuffleBinary(w.pair.X86, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ra, err := core.ShuffleBinary(w.pair.ARM, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.AvgBits >= rx.AvgBits {
+		t.Errorf("SARM bits %.2f not lower than SX86 bits %.2f", ra.AvgBits, rx.AvgBits)
+	}
+	// Pair-accessed exclusions must exist on SARM and not on SX86.
+	armExcluded, x86Excluded := 0, 0
+	for _, f := range ra.PerFunc {
+		armExcluded += f.Excluded
+	}
+	for _, f := range rx.PerFunc {
+		x86Excluded += f.Excluded
+	}
+	if armExcluded == 0 {
+		t.Error("no slots excluded on SARM")
+	}
+	if x86Excluded != 0 {
+		t.Errorf("%d slots unexpectedly excluded on SX86", x86Excluded)
+	}
+}
+
+func TestEntropyFormulas(t *testing.T) {
+	// Paper: 4 bits -> 1 + 7!! = 106 layouts, guess probability 0.125.
+	if got := core.PossibleFrames(4); got != 106 {
+		t.Errorf("PossibleFrames(4) = %d, want 106", got)
+	}
+	if got := core.GuessProbability(4); got != 0.125 {
+		t.Errorf("GuessProbability(4) = %v, want 0.125", got)
+	}
+	if core.PossibleFrames(0) != 1 || core.GuessProbability(0) != 1 {
+		t.Error("zero-entropy cases wrong")
+	}
+}

@@ -1,0 +1,113 @@
+package criu
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// CritDoc is the human-readable (JSON) form of an image directory, the
+// equivalent of CRIU's CRIT tool output. The DAPPER rewriter operates on
+// the binary images; CRIT exists for inspection and for scripting
+// transformations, exactly as in the paper ("decode to JSON, encode back").
+type CritDoc struct {
+	Inventory *InventoryImage `json:"inventory,omitempty"`
+	MM        *MMImage        `json:"mm,omitempty"`
+	Pagemap   *PagemapImage   `json:"pagemap,omitempty"`
+	Files     *FilesImage     `json:"files,omitempty"`
+	Cores     []*CoreImage    `json:"cores,omitempty"`
+	// Pages carries the raw page payload (base64 in JSON).
+	Pages []byte `json:"pages,omitempty"`
+	// Extra keeps unknown image files (e.g. policy-specific additions).
+	Extra map[string][]byte `json:"extra,omitempty"`
+}
+
+// Decode converts an image directory to its CRIT document.
+func Decode(dir *ImageDir) (*CritDoc, error) {
+	doc := &CritDoc{Extra: map[string][]byte{}}
+	for _, name := range dir.Names() {
+		raw, _ := dir.Get(name)
+		switch {
+		case name == "inventory.img":
+			v, err := UnmarshalInventory(raw)
+			if err != nil {
+				return nil, err
+			}
+			doc.Inventory = v
+		case name == "mm.img":
+			v, err := UnmarshalMM(raw)
+			if err != nil {
+				return nil, err
+			}
+			doc.MM = v
+		case name == "pagemap.img":
+			v, err := UnmarshalPagemap(raw)
+			if err != nil {
+				return nil, err
+			}
+			doc.Pagemap = v
+		case name == "files.img":
+			v, err := UnmarshalFiles(raw)
+			if err != nil {
+				return nil, err
+			}
+			doc.Files = v
+		case name == "pages.img":
+			doc.Pages = raw
+		case strings.HasPrefix(name, "core-"):
+			v, err := UnmarshalCore(raw)
+			if err != nil {
+				return nil, err
+			}
+			doc.Cores = append(doc.Cores, v)
+		default:
+			doc.Extra[name] = raw
+		}
+	}
+	return doc, nil
+}
+
+// Encode converts a CRIT document back to an image directory.
+func Encode(doc *CritDoc) *ImageDir {
+	dir := NewImageDir()
+	if doc.Inventory != nil {
+		dir.Put("inventory.img", doc.Inventory.Marshal())
+	}
+	if doc.MM != nil {
+		dir.Put("mm.img", doc.MM.Marshal())
+	}
+	if doc.Pagemap != nil {
+		dir.Put("pagemap.img", doc.Pagemap.Marshal())
+	}
+	if doc.Files != nil {
+		dir.Put("files.img", doc.Files.Marshal())
+	}
+	if doc.Pages != nil {
+		dir.Put("pages.img", doc.Pages)
+	}
+	for _, c := range doc.Cores {
+		dir.Put(CoreName(c.TID), c.Marshal())
+	}
+	for name, raw := range doc.Extra {
+		dir.Put(name, raw)
+	}
+	return dir
+}
+
+// DecodeJSON renders an image directory as indented JSON.
+func DecodeJSON(dir *ImageDir) ([]byte, error) {
+	doc, err := Decode(dir)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// EncodeJSON parses CRIT JSON back into an image directory.
+func EncodeJSON(data []byte) (*ImageDir, error) {
+	var doc CritDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("criu: crit json: %w", err)
+	}
+	return Encode(&doc), nil
+}

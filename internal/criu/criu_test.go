@@ -1,0 +1,279 @@
+package criu_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/mem"
+)
+
+func TestCoreImageRoundTrip(t *testing.T) {
+	c := &criu.CoreImage{
+		TID: 3, Arch: isa.SARM,
+		StackLow: 0x6ff00000, StackHigh: 0x6ff40000, TLSBlock: 0x60002000,
+	}
+	for i := range c.Regs.R {
+		c.Regs.R[i] = uint64(i) * 0x1111111111111111
+	}
+	c.Regs.PC = 0x400abc
+	c.Regs.TLS = 0x60002010
+	got, err := criu.UnmarshalCore(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", c, got)
+	}
+}
+
+func TestMMImageRoundTrip(t *testing.T) {
+	m := &criu.MMImage{
+		Brk: 0x20004000,
+		VMAs: []criu.VMAEntry{
+			{Start: 0x400000, End: 0x410000, Kind: 1, Prot: 5},
+			{Start: 0x6ff00000, End: 0x6ff40000, Kind: 4, Prot: 3, TID: 2},
+		},
+	}
+	got, err := criu.UnmarshalMM(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", m, got)
+	}
+}
+
+func TestInventoryRoundTrip(t *testing.T) {
+	iv := &criu.InventoryImage{
+		Arch: isa.SX86, TIDs: []int{1, 2, 5},
+		Mutexes: []criu.MutexEntry{{ID: 7, Holder: 2, Recurse: 3}},
+	}
+	got, err := criu.UnmarshalInventory(iv.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(iv, got) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", iv, got)
+	}
+}
+
+func TestImageDirRoundTripProperty(t *testing.T) {
+	f := func(a, b []byte) bool {
+		dir := criu.NewImageDir()
+		dir.Put("a.img", a)
+		dir.Put("b.img", b)
+		got, err := criu.UnmarshalImageDir(dir.Marshal())
+		if err != nil {
+			return false
+		}
+		ga, _ := got.Get("a.img")
+		gb, _ := got.Get("b.img")
+		return bytes.Equal(ga, a) && bytes.Equal(gb, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageSetStoreLoadRoundTrip(t *testing.T) {
+	dir := criu.NewImageDir()
+	ps := &criu.PageSet{Pages: map[uint64][]byte{}, LazyPages: map[uint64]bool{}}
+	mk := func(fill byte) []byte {
+		pg := make([]byte, mem.PageSize)
+		for i := range pg {
+			pg[i] = fill
+		}
+		return pg
+	}
+	// Two contiguous runs, a gap, a lazy run interleaved.
+	ps.Pages[0x10000] = mk(1)
+	ps.Pages[0x11000] = mk(2)
+	ps.LazyPages[0x12000] = true
+	ps.LazyPages[0x13000] = true
+	ps.Pages[0x20000] = mk(3)
+	ps.Store(dir)
+
+	pmRaw, _ := dir.Get("pagemap.img")
+	pm, err := criu.UnmarshalPagemap(pmRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect three coalesced entries: eager x2, lazy x2, eager x1.
+	if len(pm.Entries) != 3 {
+		t.Fatalf("pagemap entries = %+v", pm.Entries)
+	}
+	if pm.Entries[0].NrPages != 2 || pm.Entries[0].Lazy {
+		t.Errorf("entry 0 = %+v", pm.Entries[0])
+	}
+	if pm.Entries[1].NrPages != 2 || !pm.Entries[1].Lazy {
+		t.Errorf("entry 1 = %+v", pm.Entries[1])
+	}
+
+	got, err := criu.LoadPageSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pages[0x11000], mk(2)) {
+		t.Error("page content lost")
+	}
+	if !got.LazyPages[0x13000] {
+		t.Error("lazy flag lost")
+	}
+	if _, ok := got.Pages[0x12000]; ok {
+		t.Error("lazy page has eager content")
+	}
+}
+
+func TestPageSetReadWrite(t *testing.T) {
+	ps := &criu.PageSet{Pages: map[uint64][]byte{}, LazyPages: map[uint64]bool{0x3000: true}}
+	if err := ps.WriteU64(0x1008, 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ps.ReadU64(0x1008)
+	if err != nil || v != 0xdead {
+		t.Errorf("read back %x (err %v)", v, err)
+	}
+	if _, err := ps.ReadU64(0x9000); err == nil {
+		t.Error("read of absent page succeeded")
+	}
+	// Writing to a lazy page materializes it and clears the lazy flag.
+	if err := ps.WriteU64(0x3000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ps.LazyPages[0x3000] {
+		t.Error("write did not clear lazy flag")
+	}
+	ps.DropRange(0x1000, 0x2000)
+	if _, err := ps.ReadU64(0x1008); err == nil {
+		t.Error("read after DropRange succeeded")
+	}
+}
+
+func TestCritJSONRoundTrip(t *testing.T) {
+	dir := criu.NewImageDir()
+	dir.Put("inventory.img", (&criu.InventoryImage{Arch: isa.SX86, TIDs: []int{1}}).Marshal())
+	dir.Put("files.img", (&criu.FilesImage{ExePath: "/bin/x.sx86"}).Marshal())
+	core := &criu.CoreImage{TID: 1, Arch: isa.SX86}
+	core.Regs.PC = 0x401000
+	dir.Put("core-1.img", core.Marshal())
+	dir.Put("mm.img", (&criu.MMImage{Brk: 0x20000000}).Marshal())
+	dir.Put("pagemap.img", (&criu.PagemapImage{}).Marshal())
+	dir.Put("pages.img", nil)
+	dir.Put("custom.img", []byte("extra"))
+
+	js, err := criu.DecodeJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(js, []byte("/bin/x.sx86")) {
+		t.Error("JSON missing exe path")
+	}
+	back, err := criu.EncodeJSON(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"inventory.img", "files.img", "core-1.img", "mm.img", "custom.img"} {
+		orig, _ := dir.Get(name)
+		enc, ok := back.Get(name)
+		if !ok || !bytes.Equal(orig, enc) {
+			t.Errorf("%s not preserved through CRIT round trip", name)
+		}
+	}
+}
+
+// TestCritEditWorkflow modifies an image through the JSON form, the way a
+// scripted CRIT transformation would.
+func TestCritEditWorkflow(t *testing.T) {
+	dir := criu.NewImageDir()
+	dir.Put("files.img", (&criu.FilesImage{ExePath: "/bin/app.sx86"}).Marshal())
+	doc, err := criu.Decode(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Files.ExePath = "/bin/app.sarm"
+	dir2 := criu.Encode(doc)
+	raw, _ := dir2.Get("files.img")
+	files, err := criu.UnmarshalFiles(raw)
+	if err != nil || files.ExePath != "/bin/app.sarm" {
+		t.Errorf("edited path = %q (err %v)", files.ExePath, err)
+	}
+}
+
+func TestTCPPageServer(t *testing.T) {
+	// A synthetic page source served over a real socket.
+	src := pageFunc(func(addr uint64) ([]byte, error) {
+		pg := make([]byte, mem.PageSize)
+		pg[0] = byte(addr >> 12)
+		pg[1] = 0x77
+		return pg, nil
+	})
+	srv, err := criu.ServePages("127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := criu.DialPageServer(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for _, addr := range []uint64{0x1000, 0xabc000, 0x20000000} {
+		pg, err := client.FetchPage(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg[0] != byte(addr>>12) || pg[1] != 0x77 {
+			t.Errorf("page 0x%x content wrong: % x", addr, pg[:2])
+		}
+	}
+}
+
+type pageFunc func(uint64) ([]byte, error)
+
+func (f pageFunc) FetchPage(addr uint64) ([]byte, error) { return f(addr) }
+
+func TestRestoreErrorPaths(t *testing.T) {
+	k := kernel.New(kernel.Config{})
+	// Empty directory: every required image missing.
+	if _, err := criu.Restore(k, criu.NewImageDir(), criu.MapProvider{}); err == nil {
+		t.Error("restore of empty directory succeeded")
+	}
+	// Inventory present but files image missing.
+	dir := criu.NewImageDir()
+	dir.Put("inventory.img", (&criu.InventoryImage{Arch: isa.SX86, TIDs: []int{1}}).Marshal())
+	if _, err := criu.Restore(k, dir, criu.MapProvider{}); err == nil {
+		t.Error("restore without files.img succeeded")
+	}
+	// Files image referencing an unregistered binary.
+	dir.Put("files.img", (&criu.FilesImage{ExePath: "/bin/ghost.sx86"}).Marshal())
+	if _, err := criu.Restore(k, dir, criu.MapProvider{}); err == nil {
+		t.Error("restore with unresolvable executable succeeded")
+	}
+}
+
+func TestDumpRequiresQuiescence(t *testing.T) {
+	pair, err := compiler.Compile(`func main() { printi(1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(kernel.Config{})
+	p, err := k.StartProcess(pair.X86.LoadSpec("/bin/q.sx86"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not stopped: dump must refuse.
+	if _, err := criu.Dump(p, criu.DumpOpts{}); err == nil {
+		t.Error("dump of running process succeeded")
+	}
+	// Stopped but thread not at an equivalence point: dump must refuse.
+	kernel.Attach(p).Stop()
+	if _, err := criu.Dump(p, criu.DumpOpts{}); err == nil {
+		t.Error("dump of non-quiescent process succeeded")
+	}
+}

@@ -1,0 +1,121 @@
+package criu
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/mem"
+)
+
+// DumpOpts controls the dump.
+type DumpOpts struct {
+	// Lazy leaves heap/data page contents on the source node (post-copy
+	// migration): only stack, TLS, and execution-context code pages are
+	// dumped eagerly; the rest are marked lazy in the pagemap and served
+	// by a page server. This mirrors the paper's extension of CRIU
+	// lazy-migration that additionally dumps the stack pages so
+	// cross-architecture rewriting still works.
+	Lazy bool
+}
+
+// CoreName returns the core image filename for a thread.
+func CoreName(tid int) string { return "core-" + strconv.Itoa(tid) + ".img" }
+
+// Dump checkpoints a stopped process whose live threads are all parked at
+// equivalence points (SIGTRAP), producing the image directory.
+func Dump(p *kernel.Process, opts DumpOpts) (*ImageDir, error) {
+	if !p.Stopped {
+		return nil, fmt.Errorf("criu: process %d not stopped (send SIGSTOP first)", p.PID)
+	}
+	dir := NewImageDir()
+	inv := &InventoryImage{Arch: p.Arch}
+	for _, t := range p.Threads {
+		if t.State == kernel.ThreadExited {
+			continue
+		}
+		if t.State != kernel.ThreadTrapped {
+			return nil, fmt.Errorf("criu: thread %d in state %v, not at an equivalence point", t.TID, t.State)
+		}
+		inv.TIDs = append(inv.TIDs, t.TID)
+		core := &CoreImage{
+			TID: t.TID, Arch: p.Arch, Regs: t.Regs,
+			StackLow: t.StackLow, StackHigh: t.StackHigh, TLSBlock: t.TLSBlock,
+		}
+		dir.Put(CoreName(t.TID), core.Marshal())
+	}
+	if len(inv.TIDs) == 0 {
+		return nil, fmt.Errorf("criu: no live threads to dump")
+	}
+	for _, id := range p.HeldMutexes() {
+		holder, recurse := p.MutexState(id)
+		inv.Mutexes = append(inv.Mutexes, MutexEntry{ID: id, Holder: holder, Recurse: recurse})
+	}
+	dir.Put("inventory.img", inv.Marshal())
+
+	mm := &MMImage{Brk: p.Brk}
+	for _, v := range p.SortedVMAs() {
+		mm.VMAs = append(mm.VMAs, VMAEntry{Start: v.Start, End: v.End, Kind: uint8(v.Kind), Prot: v.Prot, TID: v.TID})
+	}
+	dir.Put("mm.img", mm.Marshal())
+
+	dir.Put("files.img", (&FilesImage{ExePath: p.ExePath}).Marshal())
+
+	ps := &PageSet{Pages: make(map[uint64][]byte), LazyPages: make(map[uint64]bool)}
+	execPages := execContextPages(p)
+	for _, idx := range p.AS.PopulatedPages() {
+		addr := idx * mem.PageSize
+		vma, ok := p.AS.FindVMA(addr)
+		if !ok {
+			continue
+		}
+		switch {
+		case vma.Kind == mem.VMAText:
+			// CRIU only dumps the execution-context code page(s); the rest
+			// reload from the executable on page faults.
+			if !execPages[addr] {
+				continue
+			}
+		case opts.Lazy && vma.Kind != mem.VMAStack && vma.Kind != mem.VMATLS && addr != isa.DataBase:
+			// Post-copy keeps data/heap contents behind, except the first
+			// data page: it holds the DAPPER flag, which the restored
+			// process must read (cleared) without a network fault.
+			// Post-copy: leave data/heap contents behind.
+			ps.LazyPages[addr] = true
+			continue
+		}
+		data, _ := p.AS.PageData(idx)
+		pg := make([]byte, mem.PageSize)
+		copy(pg, data)
+		ps.Pages[addr] = pg
+	}
+	ps.Store(dir)
+	return dir, nil
+}
+
+// execContextPages returns the page addresses holding each live thread's
+// current instruction.
+func execContextPages(p *kernel.Process) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, t := range p.Threads {
+		if t.State == kernel.ThreadExited {
+			continue
+		}
+		out[t.Regs.PC/mem.PageSize*mem.PageSize] = true
+	}
+	return out
+}
+
+// archOf is a small helper for tests.
+func archOf(dir *ImageDir) (isa.Arch, error) {
+	raw, ok := dir.Get("inventory.img")
+	if !ok {
+		return 0, fmt.Errorf("criu: missing inventory.img")
+	}
+	inv, err := UnmarshalInventory(raw)
+	if err != nil {
+		return 0, err
+	}
+	return inv.Arch, nil
+}

@@ -1,0 +1,145 @@
+package criu
+
+import (
+	"fmt"
+
+	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/mem"
+)
+
+// BinaryProvider resolves executable paths (from the files image) to
+// loaded binaries — the restore-side equivalent of the filesystem holding
+// the two per-ISA executables.
+type BinaryProvider interface {
+	Open(path string) (*compiler.Binary, error)
+}
+
+// MapProvider is a BinaryProvider backed by a map.
+type MapProvider map[string]*compiler.Binary
+
+// Open implements BinaryProvider.
+func (m MapProvider) Open(path string) (*compiler.Binary, error) {
+	b, ok := m[path]
+	if !ok {
+		return nil, fmt.Errorf("criu: no binary registered at %q", path)
+	}
+	return b, nil
+}
+
+// Register installs (or replaces) a binary at a path. The stack-shuffling
+// policy uses this to publish the instrumented binary the restored process
+// must execute.
+func (m MapProvider) Register(path string, b *compiler.Binary) {
+	m[path] = b
+}
+
+var _ BinaryProvider = MapProvider(nil)
+
+// Restore rebuilds a process from an image directory on kernel k. Lazy
+// pages (post-copy) are left unpopulated; install a fault handler on the
+// returned process's address space before running it.
+//
+// Threads parked at a trap PC are nudged to the site's resume PC (the
+// checker start) and the DAPPER flag is cleared, so the restored process
+// continues transparently.
+func Restore(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider) (*kernel.Process, error) {
+	invRaw, ok := dir.Get("inventory.img")
+	if !ok {
+		return nil, fmt.Errorf("criu: missing inventory.img")
+	}
+	inv, err := UnmarshalInventory(invRaw)
+	if err != nil {
+		return nil, err
+	}
+	filesRaw, ok := dir.Get("files.img")
+	if !ok {
+		return nil, fmt.Errorf("criu: missing files.img")
+	}
+	files, err := UnmarshalFiles(filesRaw)
+	if err != nil {
+		return nil, err
+	}
+	bin, err := provider.Open(files.ExePath)
+	if err != nil {
+		return nil, err
+	}
+	if bin.Arch != inv.Arch {
+		return nil, fmt.Errorf("criu: binary %q is %v but image is %v", files.ExePath, bin.Arch, inv.Arch)
+	}
+	mmRaw, ok := dir.Get("mm.img")
+	if !ok {
+		return nil, fmt.Errorf("criu: missing mm.img")
+	}
+	mm, err := UnmarshalMM(mmRaw)
+	if err != nil {
+		return nil, err
+	}
+
+	as := mem.NewAddressSpace()
+	heapMapped := false
+	for _, v := range mm.VMAs {
+		if err := as.Map(mem.VMA{Start: v.Start, End: v.End, Kind: mem.VMAKind(v.Kind), Prot: v.Prot, TID: v.TID}); err != nil {
+			return nil, fmt.Errorf("criu: restore vma: %w", err)
+		}
+		if mem.VMAKind(v.Kind) == mem.VMAHeap {
+			heapMapped = true
+		}
+	}
+	// Code pages load from the executable; dumped pages overlay them.
+	if err := as.WriteBytes(isa.TextBase, bin.Text); err != nil {
+		return nil, fmt.Errorf("criu: restore text: %w", err)
+	}
+	ps, err := LoadPageSet(dir)
+	if err != nil {
+		return nil, err
+	}
+	for addr, pg := range ps.Pages {
+		as.InstallPage(addr/mem.PageSize, pg)
+	}
+
+	coder := compiler.CoderFor(inv.Arch)
+	p := kernel.NewRestoredProcess(inv.Arch, coder, as)
+	p.ExePath = files.ExePath
+	p.Entry = bin.Entry
+	p.ThreadExit = bin.ThreadExit
+	p.Brk = mm.Brk
+	if heapMapped {
+		p.MarkHeapMapped()
+	}
+	for _, tid := range inv.TIDs {
+		raw, ok := dir.Get(CoreName(tid))
+		if !ok {
+			return nil, fmt.Errorf("criu: missing %s", CoreName(tid))
+		}
+		core, err := UnmarshalCore(raw)
+		if err != nil {
+			return nil, err
+		}
+		t := &kernel.Thread{
+			TID: core.TID, Regs: core.Regs, State: kernel.ThreadRunnable,
+			StackLow: core.StackLow, StackHigh: core.StackHigh, TLSBlock: core.TLSBlock,
+		}
+		if site, ok := bin.Meta.SiteByTrapPC(inv.Arch, t.Regs.PC); ok {
+			t.Regs.PC = site.PCs[archIdx(inv.Arch)].ResumePC
+		}
+		p.AddRestoredThread(t)
+	}
+	for _, m := range inv.Mutexes {
+		p.RestoreMutex(m.ID, m.Holder, m.Recurse)
+	}
+	// Clear the transformation flag so checkers fall through.
+	if err := as.WriteU64(isa.FlagAddr, 0); err != nil {
+		return nil, fmt.Errorf("criu: clear flag: %w", err)
+	}
+	k.AdoptProcess(p)
+	return p, nil
+}
+
+func archIdx(a isa.Arch) int {
+	if a == isa.SX86 {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,135 @@
+// Package energy reproduces the paper's Fig. 8 experiment: a
+// batch-processing HPC scenario with an infinite job queue on an x86
+// server, where DAPPER dynamically evicts excess jobs to low-power ARM
+// boards. Energy efficiency is measured as completed jobs per kilojoule
+// and throughput as jobs per hour, over a fixed wall-clock window.
+//
+// The simulation is deterministic and per-worker closed-form: every
+// machine runs a fixed number of job threads (7 on the Xeon, 3 per Pi, the
+// paper's configuration); a job placed on a Pi first pays the migration
+// (eviction) cost. Machine speeds and the linear power model come from
+// internal/cluster's calibrated node specs.
+package energy
+
+import (
+	"fmt"
+
+	"github.com/dapper-sim/dapper/internal/cluster"
+)
+
+// JobClass characterizes one benchmark job by the guest cycles it takes
+// (measured by running the compiled workload in the simulated kernel).
+type JobClass struct {
+	Name   string
+	Cycles uint64
+}
+
+// Config describes one scheduling scenario.
+type Config struct {
+	// DurationSec is the experiment window (the paper uses 30 minutes).
+	DurationSec float64
+	Xeon        cluster.NodeSpec
+	Pi          cluster.NodeSpec
+	// NumPis is how many boards receive evicted jobs (0 = baseline).
+	NumPis int
+	// XeonThreads and PiThreads are concurrent jobs per machine.
+	XeonThreads int
+	PiThreads   int
+	// EvictCostSec is the per-eviction service interruption (a measured
+	// migration Breakdown.Total).
+	EvictCostSec float64
+	Job          JobClass
+}
+
+// DefaultConfig returns the paper's setup for a job class.
+func DefaultConfig(job JobClass, numPis int, evictCostSec float64) Config {
+	return Config{
+		DurationSec:  1800,
+		Xeon:         cluster.XeonSpec,
+		Pi:           cluster.PiSpec,
+		NumPis:       numPis,
+		XeonThreads:  7,
+		PiThreads:    3,
+		EvictCostSec: evictCostSec,
+		Job:          job,
+	}
+}
+
+// Result is one scenario's outcome.
+type Result struct {
+	Jobs      float64 // completed jobs (fractional tails excluded)
+	Evictions int
+	EnergyKJ  float64
+	JobsPerKJ float64
+	JobsPerHr float64
+	PowerW    float64 // aggregate steady-state draw
+}
+
+// jobSeconds is a job's service time on a node.
+func jobSeconds(spec cluster.NodeSpec, job JobClass) float64 {
+	return float64(job.Cycles) / (spec.ClockHz * spec.IPC)
+}
+
+// Run evaluates one configuration.
+func Run(cfg Config) (Result, error) {
+	if cfg.DurationSec <= 0 || cfg.Job.Cycles == 0 {
+		return Result{}, fmt.Errorf("energy: bad config: %+v", cfg)
+	}
+	var r Result
+	xeonJob := jobSeconds(cfg.Xeon, cfg.Job)
+	r.Jobs += float64(cfg.XeonThreads) * float64(int(cfg.DurationSec/xeonJob))
+
+	piJob := cfg.EvictCostSec + jobSeconds(cfg.Pi, cfg.Job)
+	piJobs := 0
+	for b := 0; b < cfg.NumPis; b++ {
+		piJobs += cfg.PiThreads * int(cfg.DurationSec/piJob)
+	}
+	r.Jobs += float64(piJobs)
+	r.Evictions = piJobs
+
+	r.PowerW = cfg.Xeon.PowerW(cfg.XeonThreads)
+	for b := 0; b < cfg.NumPis; b++ {
+		r.PowerW += cfg.Pi.PowerW(cfg.PiThreads)
+	}
+	r.EnergyKJ = r.PowerW * cfg.DurationSec / 1000
+	if r.EnergyKJ > 0 {
+		r.JobsPerKJ = r.Jobs / r.EnergyKJ
+	}
+	r.JobsPerHr = r.Jobs * 3600 / cfg.DurationSec
+	return r, nil
+}
+
+// Improvement compares a DAPPER eviction scenario against the Xeon-only
+// baseline, returning percentage gains (the Fig. 8 bars).
+type Improvement struct {
+	Job           JobClass
+	NumPis        int
+	BaselineEff   float64
+	DapperEff     float64
+	EfficiencyPct float64
+	BaselineTput  float64
+	DapperTput    float64
+	ThroughputPct float64
+}
+
+// Compare runs baseline and eviction scenarios for one job class.
+func Compare(job JobClass, numPis int, evictCostSec float64) (Improvement, error) {
+	base, err := Run(DefaultConfig(job, 0, evictCostSec))
+	if err != nil {
+		return Improvement{}, err
+	}
+	dap, err := Run(DefaultConfig(job, numPis, evictCostSec))
+	if err != nil {
+		return Improvement{}, err
+	}
+	return Improvement{
+		Job:           job,
+		NumPis:        numPis,
+		BaselineEff:   base.JobsPerKJ,
+		DapperEff:     dap.JobsPerKJ,
+		EfficiencyPct: 100 * (dap.JobsPerKJ - base.JobsPerKJ) / base.JobsPerKJ,
+		BaselineTput:  base.JobsPerHr,
+		DapperTput:    dap.JobsPerHr,
+		ThroughputPct: 100 * (dap.JobsPerHr - base.JobsPerHr) / base.JobsPerHr,
+	}, nil
+}

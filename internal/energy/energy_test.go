@@ -1,0 +1,94 @@
+package energy_test
+
+import (
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/energy"
+)
+
+// cgClassB approximates an NPB CG class-B job: ~60 s on the Xeon model.
+var cgClassB = energy.JobClass{Name: "cg.B", Cycles: 126_000_000_000}
+
+func TestBaselineVsEviction(t *testing.T) {
+	imp, err := energy.Compare(cgClassB, 3, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 8 shape: both efficiency and throughput improve when evicting
+	// to three Pis; efficiency lands in the paper's 15-39% band and
+	// throughput in the 37-52% band (± model slack).
+	if imp.EfficiencyPct < 10 || imp.EfficiencyPct > 45 {
+		t.Errorf("efficiency improvement %.1f%%, want ~15-39%%", imp.EfficiencyPct)
+	}
+	if imp.ThroughputPct < 25 || imp.ThroughputPct > 60 {
+		t.Errorf("throughput improvement %.1f%%, want ~37-52%%", imp.ThroughputPct)
+	}
+}
+
+func TestMorePisMoreThroughput(t *testing.T) {
+	one, err := energy.Compare(cgClassB, 1, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := energy.Compare(cgClassB, 3, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.ThroughputPct <= one.ThroughputPct {
+		t.Errorf("3 Pis (%.1f%%) not better than 1 Pi (%.1f%%)", three.ThroughputPct, one.ThroughputPct)
+	}
+	if three.DapperEff <= one.DapperEff {
+		t.Errorf("3-Pi efficiency %.3f not above 1-Pi %.3f", three.DapperEff, one.DapperEff)
+	}
+}
+
+func TestEvictionCostMatters(t *testing.T) {
+	cheap, err := energy.Compare(cgClassB, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pricey, err := energy.Compare(cgClassB, 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pricey.ThroughputPct >= cheap.ThroughputPct {
+		t.Errorf("expensive evictions (%.1f%%) not worse than cheap (%.1f%%)", pricey.ThroughputPct, cheap.ThroughputPct)
+	}
+}
+
+func TestShortJobsAmortizeWorse(t *testing.T) {
+	short := energy.JobClass{Name: "tiny", Cycles: 2_100_000_000} // ~1 s
+	long := energy.JobClass{Name: "long", Cycles: 630_000_000_000}
+	s, err := energy.Compare(short, 3, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := energy.Compare(long, 3, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a fixed eviction cost, longer jobs amortize migration better.
+	if s.ThroughputPct >= l.ThroughputPct+20 {
+		t.Errorf("short-job improvement %.1f%% implausibly above long-job %.1f%%", s.ThroughputPct, l.ThroughputPct)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := energy.Run(energy.Config{}); err == nil {
+		t.Error("want error for zero config")
+	}
+}
+
+func TestPowerAccounting(t *testing.T) {
+	res, err := energy.Run(energy.DefaultConfig(cgClassB, 3, 1.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 108 W Xeon + 3 × 5.1 W Pis ≈ 123 W.
+	if res.PowerW < 115 || res.PowerW > 130 {
+		t.Errorf("aggregate power %.1f W, want ~123", res.PowerW)
+	}
+	if res.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+}

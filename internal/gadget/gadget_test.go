@@ -1,0 +1,123 @@
+package gadget_test
+
+import (
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/asm"
+	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/gadget"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/isa/sarm"
+	"github.com/dapper-sim/dapper/internal/isa/sx86"
+	"github.com/dapper-sim/dapper/internal/kernel"
+)
+
+func TestCountHandAssembled(t *testing.T) {
+	// SX86: mov r1, r2; add r1, r3; ret  -> gadgets at the mov, the add,
+	// and the ret itself (suffixes of a ret-terminated run).
+	f := asm.New(sx86.Coder{})
+	f.Emit(isa.Inst{Op: isa.OpMov, Rd: 1, Rn: 2})
+	f.Emit(isa.Inst{Op: isa.OpAdd, Rd: 1, Rn: 1, Rm: 3})
+	f.Emit(isa.Inst{Op: isa.OpRet})
+	code, _, err := f.Assemble(isa.TextBase, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := gadget.Count(code, isa.TextBase, isa.SX86)
+	if n < 3 {
+		t.Errorf("gadgets = %d, want >= 3", n)
+	}
+
+	// SARM: aligned scanning only.
+	fa := asm.New(sarm.Coder{})
+	fa.Emit(isa.Inst{Op: isa.OpMov, Rd: 1, Rn: 2})
+	fa.Emit(isa.Inst{Op: isa.OpAdd, Rd: 1, Rn: 2, Rm: 3})
+	fa.Emit(isa.Inst{Op: isa.OpRet})
+	codeA, _, err := fa.Assemble(isa.TextBase, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na := gadget.Count(codeA, isa.TextBase, isa.SARM)
+	if na != 3 {
+		t.Errorf("sarm gadgets = %d, want exactly 3 (aligned)", na)
+	}
+}
+
+func TestUnintendedGadgetsOnVariableLength(t *testing.T) {
+	// A MOVri whose immediate contains 0xC3 yields an unintended RET when
+	// decoded at the immediate's offset (classic x86 behaviour).
+	f := asm.New(sx86.Coder{})
+	f.Emit(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 0xC3})
+	f.Emit(isa.Inst{Op: isa.OpJmp, Imm: int64(isa.TextBase)})
+	code, _, err := f.Assemble(isa.TextBase, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := gadget.Count(code, isa.TextBase, isa.SX86); n == 0 {
+		t.Error("no unintended gadget found in immediate bytes")
+	}
+}
+
+const appSrc = `
+func work(a int, b int) int {
+	var t int;
+	t = a * b + a - b;
+	return t;
+}
+func main() {
+	var i int;
+	var s int;
+	for i = 0; i < 10; i = i + 1 {
+		s = s + work(i, i + 1);
+	}
+	printi(s);
+}`
+
+func TestPopcornBaselineHasMoreGadgets(t *testing.T) {
+	dapper, err := compiler.Compile(appSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popcorn, err := gadget.PopcornPair(appSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []isa.Arch{isa.SX86, isa.SARM} {
+		cmp := gadget.CompareBinaries(dapper.ByArch(arch), popcorn.ByArch(arch))
+		if cmp.Popcorn <= cmp.Dapper {
+			t.Errorf("%v: popcorn %d <= dapper %d", arch, cmp.Popcorn, cmp.Dapper)
+		}
+		if cmp.ReductionPct <= 20 {
+			t.Errorf("%v: reduction only %.1f%%", arch, cmp.ReductionPct)
+		}
+	}
+}
+
+func TestPopcornBaselineStillRuns(t *testing.T) {
+	// The baseline must be a functioning program (the runtime is linked
+	// but dormant), or the comparison would be apples to oranges.
+	popcorn, err := gadget.PopcornPair(appSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(kernel.Config{})
+	p, err := k.StartProcess(popcorn.X86.LoadSpec("/bin/pc.sx86"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ConsoleString(); got != "320" {
+		t.Errorf("popcorn-baseline output %q", got)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if r := gadget.Reduction(200, 80); r != 60 {
+		t.Errorf("Reduction(200,80) = %v", r)
+	}
+	if r := gadget.Reduction(0, 5); r != 0 {
+		t.Errorf("Reduction(0,5) = %v", r)
+	}
+}

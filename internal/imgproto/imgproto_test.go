@@ -1,0 +1,265 @@
+package imgproto
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<32 - 1, 1 << 63, math.MaxUint64}
+	for _, v := range cases {
+		b := AppendUvarint(nil, v)
+		got, n, err := Uvarint(b)
+		if err != nil {
+			t.Fatalf("Uvarint(%d): %v", v, err)
+		}
+		if got != v || n != len(b) {
+			t.Errorf("Uvarint(%d) = %d (n=%d, len=%d)", v, got, n, len(b))
+		}
+	}
+}
+
+func TestUvarintProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		b := AppendUvarint(nil, v)
+		got, n, err := Uvarint(b)
+		return err == nil && got == v && n == len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintTruncated(t *testing.T) {
+	b := AppendUvarint(nil, 1<<40)
+	for i := 0; i < len(b); i++ {
+		if _, _, err := Uvarint(b[:i]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("prefix %d: want ErrTruncated, got %v", i, err)
+		}
+	}
+}
+
+func TestUvarintOverflow(t *testing.T) {
+	// 11 continuation bytes can never be a valid 64-bit varint.
+	b := bytes.Repeat([]byte{0xff}, 11)
+	if _, _, err := Uvarint(b); !errors.Is(err, ErrOverflow) {
+		t.Errorf("want ErrOverflow, got %v", err)
+	}
+}
+
+func TestZigZagProperty(t *testing.T) {
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Small magnitudes must encode small.
+	for _, v := range []int64{-1, 1, -64, 63} {
+		if ZigZag(v) > 127 {
+			t.Errorf("ZigZag(%d) = %d, want single byte", v, ZigZag(v))
+		}
+	}
+}
+
+func TestEncoderDecoderAllTypes(t *testing.T) {
+	var e Encoder
+	e.Uint64(1, 42)
+	e.Int64(2, -7)
+	e.Bool(3, true)
+	e.Fixed64(4, 0xdeadbeefcafe)
+	e.Float64(5, 3.5)
+	e.BytesField(6, []byte{1, 2, 3})
+	e.String(7, "hello")
+	e.Message(8, func(n *Encoder) {
+		n.Uint64(1, 9)
+		n.String(2, "nested")
+	})
+	e.Uint64s(9, []uint64{5, 6, 7})
+
+	var (
+		gotU   uint64
+		gotI   int64
+		gotB   bool
+		gotF64 uint64
+		gotFl  float64
+		gotBy  []byte
+		gotS   string
+		nestU  uint64
+		nestS  string
+		rep    []uint64
+	)
+	d := NewDecoder(e.Bytes())
+	err := d.Each(func(f uint32, d *Decoder) error {
+		var err error
+		switch f {
+		case 1:
+			gotU, err = d.FieldUint64()
+		case 2:
+			gotI, err = d.FieldInt64()
+		case 3:
+			gotB, err = d.FieldBool()
+		case 4:
+			gotF64, err = d.FieldUint64()
+		case 5:
+			gotFl, err = d.FieldFloat64()
+		case 6:
+			gotBy, err = d.FieldBytes()
+		case 7:
+			gotS, err = d.FieldString()
+		case 8:
+			err = d.FieldMessage(func(nf uint32, nd *Decoder) error {
+				var nerr error
+				switch nf {
+				case 1:
+					nestU, nerr = nd.FieldUint64()
+				case 2:
+					nestS, nerr = nd.FieldString()
+				}
+				return nerr
+			})
+		case 9:
+			v, verr := d.FieldUint64()
+			rep = append(rep, v)
+			err = verr
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if gotU != 42 || gotI != -7 || !gotB || gotF64 != 0xdeadbeefcafe || gotFl != 3.5 {
+		t.Errorf("numeric fields wrong: %d %d %v %x %v", gotU, gotI, gotB, gotF64, gotFl)
+	}
+	if !bytes.Equal(gotBy, []byte{1, 2, 3}) || gotS != "hello" {
+		t.Errorf("bytes/string wrong: %v %q", gotBy, gotS)
+	}
+	if nestU != 9 || nestS != "nested" {
+		t.Errorf("nested wrong: %d %q", nestU, nestS)
+	}
+	if len(rep) != 3 || rep[0] != 5 || rep[2] != 7 {
+		t.Errorf("repeated wrong: %v", rep)
+	}
+}
+
+func TestDecoderUnknownFieldsSkipped(t *testing.T) {
+	// A decoder that only looks at field 2 must still traverse field 1.
+	var e Encoder
+	e.String(1, "ignored")
+	e.Uint64(2, 11)
+	var got uint64
+	err := NewDecoder(e.Bytes()).Each(func(f uint32, d *Decoder) error {
+		if f == 2 {
+			v, err := d.FieldUint64()
+			got = v
+			return err
+		}
+		return nil
+	})
+	if err != nil || got != 11 {
+		t.Fatalf("got %d, err %v", got, err)
+	}
+}
+
+func TestDecoderTruncatedMessage(t *testing.T) {
+	var e Encoder
+	e.BytesField(1, bytes.Repeat([]byte{7}, 100))
+	b := e.Bytes()
+	err := NewDecoder(b[:len(b)-1]).Each(func(uint32, *Decoder) error { return nil })
+	var fe *FieldError
+	if !errors.As(err, &fe) || !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want FieldError{ErrTruncated}, got %v", err)
+	}
+	if fe.Field != 1 {
+		t.Errorf("field = %d, want 1", fe.Field)
+	}
+}
+
+func TestDecoderWrongType(t *testing.T) {
+	var e Encoder
+	e.Uint64(1, 5)
+	err := NewDecoder(e.Bytes()).Each(func(f uint32, d *Decoder) error {
+		_, err := d.FieldBytes()
+		return err
+	})
+	if err == nil {
+		t.Fatal("want error reading varint as bytes")
+	}
+}
+
+func TestDecoderBadWireType(t *testing.T) {
+	// Tag with wire type 5 (unused).
+	b := AppendUvarint(nil, 1<<3|5)
+	err := NewDecoder(b).Each(func(uint32, *Decoder) error { return nil })
+	if !errors.Is(err, ErrBadWireType) {
+		t.Fatalf("want ErrBadWireType, got %v", err)
+	}
+}
+
+func TestEncoderRoundTripProperty(t *testing.T) {
+	f := func(u uint64, i int64, s string, raw []byte) bool {
+		var e Encoder
+		e.Uint64(1, u)
+		e.Int64(2, i)
+		e.String(3, s)
+		e.BytesField(4, raw)
+		var gu uint64
+		var gi int64
+		var gs string
+		var gb []byte
+		err := NewDecoder(e.Bytes()).Each(func(f uint32, d *Decoder) error {
+			var err error
+			switch f {
+			case 1:
+				gu, err = d.FieldUint64()
+			case 2:
+				gi, err = d.FieldInt64()
+			case 3:
+				gs, err = d.FieldString()
+			case 4:
+				gb, err = d.FieldBytes()
+			}
+			return err
+		})
+		return err == nil && gu == u && gi == i && gs == s && bytes.Equal(gb, raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeSmallMessage(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xab}, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var e Encoder
+		e.Uint64(1, uint64(i))
+		e.Int64(2, -int64(i))
+		e.BytesField(3, payload)
+		_ = e.Bytes()
+	}
+}
+
+func BenchmarkDecodeSmallMessage(b *testing.B) {
+	var e Encoder
+	e.Uint64(1, 123456)
+	e.Int64(2, -98765)
+	e.BytesField(3, bytes.Repeat([]byte{0xab}, 64))
+	buf := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewDecoder(buf).Each(func(f uint32, d *Decoder) error {
+			switch f {
+			case 1, 2:
+				_, err := d.FieldUint64()
+				return err
+			case 3:
+				_, err := d.FieldBytes()
+				return err
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package ir
+
+import "sort"
+
+// ComputeLiveness fills Instr.LiveSlots for every OpCall in f with the set
+// of slots whose values are needed after the call returns. This is the
+// live-value record the paper's stack maps carry for call sites: during a
+// checkpoint, every suspended caller frame is described by the record at
+// its return address.
+//
+// Slots whose address is taken (arrays, &x, and anything passed by
+// pointer) are conservatively live at every site — their contents can be
+// reached through memory.
+func ComputeLiveness(f *Func) {
+	n := len(f.Blocks)
+	addrTaken := make(map[int]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpSlotAddr {
+				addrTaken[in.Slot] = true
+			}
+		}
+	}
+	// Arrays are only reachable through OpSlotAddr, but mark them anyway
+	// for robustness.
+	for _, s := range f.Slots {
+		if s.Kind == SlotArray {
+			addrTaken[s.ID] = true
+		}
+	}
+
+	// Block-level gen/kill over scalar slots.
+	gen := make([]map[int]bool, n)
+	kill := make([]map[int]bool, n)
+	succ := make([][]int, n)
+	for i, b := range f.Blocks {
+		g, k := map[int]bool{}, map[int]bool{}
+		for _, in := range b.Instrs {
+			for _, u := range instrSlotUses(in) {
+				if !k[u] {
+					g[u] = true
+				}
+			}
+			if d, ok := instrSlotDef(in); ok {
+				k[d] = true
+			}
+		}
+		gen[i], kill[i] = g, k
+		if len(b.Instrs) > 0 {
+			last := b.Instrs[len(b.Instrs)-1]
+			switch last.Op {
+			case OpJmp:
+				succ[i] = []int{last.T1}
+			case OpBr:
+				succ[i] = []int{last.T1, last.T2}
+			}
+		}
+	}
+
+	liveIn := make([]map[int]bool, n)
+	liveOut := make([]map[int]bool, n)
+	for i := range liveIn {
+		liveIn[i] = map[int]bool{}
+		liveOut[i] = map[int]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := map[int]bool{}
+			for _, s := range succ[i] {
+				for v := range liveIn[s] {
+					out[v] = true
+				}
+			}
+			in := map[int]bool{}
+			for v := range gen[i] {
+				in[v] = true
+			}
+			for v := range out {
+				if !kill[i][v] {
+					in[v] = true
+				}
+			}
+			if !sameSet(out, liveOut[i]) || !sameSet(in, liveIn[i]) {
+				liveOut[i], liveIn[i] = out, in
+				changed = true
+			}
+		}
+	}
+
+	// Per-instruction backward walk recording live-out at each call.
+	for i, b := range f.Blocks {
+		live := map[int]bool{}
+		for v := range liveOut[i] {
+			live[v] = true
+		}
+		for j := len(b.Instrs) - 1; j >= 0; j-- {
+			in := &b.Instrs[j]
+			if in.Op == OpCall {
+				set := make([]int, 0, len(live)+len(addrTaken))
+				seen := map[int]bool{}
+				for v := range live {
+					if !seen[v] {
+						set = append(set, v)
+						seen[v] = true
+					}
+				}
+				for v := range addrTaken {
+					if !seen[v] {
+						set = append(set, v)
+						seen[v] = true
+					}
+				}
+				sort.Ints(set)
+				in.LiveSlots = set
+			}
+			if d, ok := instrSlotDef(*in); ok {
+				delete(live, d)
+			}
+			for _, u := range instrSlotUses(*in) {
+				live[u] = true
+			}
+		}
+	}
+}
+
+// instrSlotUses returns the scalar slots read by in.
+func instrSlotUses(in Instr) []int {
+	switch in.Op {
+	case OpLoadSlot:
+		return []int{in.Slot}
+	case OpCall:
+		return in.ArgSlots
+	default:
+		return nil
+	}
+}
+
+// instrSlotDef returns the slot written by in, if any.
+func instrSlotDef(in Instr) (int, bool) {
+	if in.Op == OpStoreSlot {
+		return in.Slot, true
+	}
+	return 0, false
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,204 @@
+package ir
+
+import (
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+)
+
+// Runtime wrapper functions. Every kernel interaction goes through a
+// wrapper ("libc" in the paper's terms) so that:
+//
+//   - each wrapper entry is an equivalence point, giving the monitor a
+//     rollback target for threads blocked in synchronization primitives
+//     (the paper's setjmp-style rollback), and
+//   - the lock wrapper can maintain the TLS lock-depth counter that
+//     disables the equivalence-point checker inside critical sections.
+
+// rb builds a single-block wrapper body.
+type rb struct {
+	f *Func
+}
+
+func (b *rb) emit(in Instr) {
+	b.f.Blocks[0].Instrs = append(b.f.Blocks[0].Instrs, in)
+}
+
+func (b *rb) vreg(d int) VReg { return b.f.NewVReg(d) }
+
+// ldParam loads parameter slot i into a vreg at depth d.
+func (b *rb) ldParam(i, d int) VReg {
+	v := b.vreg(d)
+	b.emit(Instr{Op: OpLoadSlot, Dst: v, Slot: i})
+	return v
+}
+
+func (b *rb) constInt(val int64, d int) VReg {
+	v := b.vreg(d)
+	b.emit(Instr{Op: OpConstInt, Dst: v, Imm: val})
+	return v
+}
+
+// syscall emits an OpSyscall whose args must already sit at depths 0..n-1.
+func (b *rb) syscall(num uint64, args []VReg, hasRet bool) VReg {
+	dst := NoVReg
+	if hasRet {
+		dst = b.vreg(0)
+	}
+	b.emit(Instr{Op: OpSyscall, Dst: dst, Imm: int64(num), Args: args})
+	return dst
+}
+
+func (b *rb) ret(v VReg) { b.emit(Instr{Op: OpRet, A: v}) }
+
+// wrapper constructs the shell of a runtime function.
+func wrapper(prog *Program, name string, params []bool, hasRet, retPtr, blocking bool) *rb {
+	f := &Func{
+		Name:      name,
+		NumParams: len(params),
+		ParamPtr:  params,
+		HasRet:    hasRet,
+		RetPtr:    retPtr,
+		Blocking:  blocking,
+		Wrapper:   true,
+	}
+	for i, ptr := range params {
+		f.Slots = append(f.Slots, SlotDef{ID: i, Name: paramName(i), Kind: SlotParam, Size: 8, Ptr: ptr})
+	}
+	f.EntrySiteID = prog.NewSite()
+	f.NewBlock()
+	prog.Funcs = append(prog.Funcs, f)
+	return &rb{f: f}
+}
+
+func paramName(i int) string { return string(rune('a' + i)) }
+
+// addRuntime appends the runtime wrapper functions and _start to prog.
+func addRuntime(prog *Program) {
+	// _start: call main, then exit(0). It is the process entry.
+	{
+		b := wrapper(prog, "_start", nil, false, false, false)
+		b.emit(Instr{Op: OpCall, Dst: NoVReg, Sym: "main", Site: prog.NewSite()})
+		v := b.constInt(0, 0)
+		b.syscall(kernel.SysExit, []VReg{v}, false)
+		b.ret(NoVReg)
+	}
+	// __thread_exit: return target of spawned threads.
+	{
+		b := wrapper(prog, "__thread_exit", nil, false, false, false)
+		b.syscall(kernel.SysExitThread, nil, false)
+		b.ret(NoVReg)
+	}
+	{
+		b := wrapper(prog, "__exit", []bool{false}, false, false, false)
+		v := b.ldParam(0, 0)
+		b.syscall(kernel.SysExit, []VReg{v}, false)
+		b.ret(NoVReg)
+	}
+	{
+		b := wrapper(prog, "__print", []bool{true, false}, false, false, false)
+		p := b.ldParam(0, 0)
+		n := b.ldParam(1, 1)
+		b.syscall(kernel.SysPrint, []VReg{p, n}, false)
+		b.ret(NoVReg)
+	}
+	{
+		b := wrapper(prog, "__printi", []bool{false}, false, false, false)
+		v := b.ldParam(0, 0)
+		b.syscall(kernel.SysPrintI, []VReg{v}, false)
+		b.ret(NoVReg)
+	}
+	{
+		b := wrapper(prog, "__printf", []bool{false}, false, false, false)
+		v := b.ldParam(0, 0)
+		b.syscall(kernel.SysPrintF, []VReg{v}, false)
+		b.ret(NoVReg)
+	}
+	{
+		// __alloc rounds the request up to 8 bytes and bumps the break.
+		b := wrapper(prog, "__alloc", []bool{false}, true, true, false)
+		n := b.ldParam(0, 0)
+		seven := b.constInt(7, 1)
+		sum := b.vreg(0)
+		b.emit(Instr{Op: OpIAdd, Dst: sum, A: n, B: seven})
+		mask := b.constInt(-8, 1)
+		rounded := b.vreg(0)
+		b.emit(Instr{Op: OpIAnd, Dst: rounded, A: sum, B: mask})
+		r := b.syscall(kernel.SysSbrk, []VReg{rounded}, true)
+		b.ret(r)
+	}
+	{
+		b := wrapper(prog, "__spawn", []bool{false, false}, true, false, false)
+		fn := b.ldParam(0, 0)
+		arg := b.ldParam(1, 1)
+		r := b.syscall(kernel.SysSpawn, []VReg{fn, arg}, true)
+		b.ret(r)
+	}
+	{
+		b := wrapper(prog, "__join", []bool{false}, false, false, true)
+		t := b.ldParam(0, 0)
+		b.syscall(kernel.SysJoin, []VReg{t}, false)
+		b.ret(NoVReg)
+	}
+	{
+		// __lock blocks until the mutex is acquired, then increments the
+		// TLS lock depth so checkers are disabled inside the critical
+		// section (the paper's lock-aware checker masking).
+		b := wrapper(prog, "__lock", []bool{false}, false, false, true)
+		id := b.ldParam(0, 0)
+		b.syscall(kernel.SysLock, []VReg{id}, false)
+		depth := b.vreg(0)
+		b.emit(Instr{Op: OpTlsLoad, Dst: depth, Imm: isa.TLSSlotLockDepth})
+		one := b.constInt(1, 1)
+		inc := b.vreg(0)
+		b.emit(Instr{Op: OpIAdd, Dst: inc, A: depth, B: one})
+		b.emit(Instr{Op: OpTlsStore, A: inc, Imm: isa.TLSSlotLockDepth})
+		b.ret(NoVReg)
+	}
+	{
+		// __unlock decrements the lock depth *before* releasing.
+		b := wrapper(prog, "__unlock", []bool{false}, false, false, false)
+		depth := b.vreg(0)
+		b.emit(Instr{Op: OpTlsLoad, Dst: depth, Imm: isa.TLSSlotLockDepth})
+		one := b.constInt(1, 1)
+		dec := b.vreg(0)
+		b.emit(Instr{Op: OpISub, Dst: dec, A: depth, B: one})
+		b.emit(Instr{Op: OpTlsStore, A: dec, Imm: isa.TLSSlotLockDepth})
+		id := b.ldParam(0, 0)
+		b.syscall(kernel.SysUnlock, []VReg{id}, false)
+		b.ret(NoVReg)
+	}
+	{
+		b := wrapper(prog, "__yield", nil, false, false, false)
+		b.syscall(kernel.SysYield, nil, false)
+		b.ret(NoVReg)
+	}
+	{
+		b := wrapper(prog, "__time", nil, true, false, false)
+		r := b.syscall(kernel.SysTime, nil, true)
+		b.ret(r)
+	}
+	{
+		b := wrapper(prog, "__gettid", nil, true, false, false)
+		r := b.syscall(kernel.SysGettid, nil, true)
+		b.ret(r)
+	}
+	{
+		b := wrapper(prog, "__ncores", nil, true, false, false)
+		r := b.syscall(kernel.SysNCores, nil, true)
+		b.ret(r)
+	}
+	{
+		b := wrapper(prog, "__recv", []bool{true, false}, true, false, true)
+		p := b.ldParam(0, 0)
+		c := b.ldParam(1, 1)
+		r := b.syscall(kernel.SysRecv, []VReg{p, c}, true)
+		b.ret(r)
+	}
+	{
+		b := wrapper(prog, "__send", []bool{true, false}, false, false, false)
+		p := b.ldParam(0, 0)
+		n := b.ldParam(1, 1)
+		b.syscall(kernel.SysSend, []VReg{p, n}, false)
+		b.ret(NoVReg)
+	}
+}

@@ -1,0 +1,71 @@
+// Package isatest provides shared helpers for exercising the two
+// architecture coders in tests.
+package isatest
+
+import (
+	"github.com/dapper-sim/dapper/internal/isa"
+)
+
+// SampleInsts returns a representative instruction per semantic op that is
+// encodable on the given architecture, suitable for round-trip tests. All
+// registers are valid on both architectures and branch targets are near pc.
+func SampleInsts(arch isa.Arch, pc uint64) []isa.Inst {
+	target := int64(pc) + 64
+	common := []isa.Inst{
+		{Op: isa.OpNop},
+		{Op: isa.OpTrap},
+		{Op: isa.OpSyscall},
+		{Op: isa.OpRet},
+		{Op: isa.OpMov, Rd: 1, Rn: 2},
+		{Op: isa.OpLoad, Rd: 3, Rn: 6, Imm: -16},
+		{Op: isa.OpStore, Rd: 2, Rn: 7, Imm: 24},
+		{Op: isa.OpLea, Rd: 4, Rn: 6, Imm: -40},
+		{Op: isa.OpAdd, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpSub, Rd: 2, Rn: 2, Rm: 3},
+		{Op: isa.OpMul, Rd: 3, Rn: 3, Rm: 4},
+		{Op: isa.OpDiv, Rd: 4, Rn: 4, Rm: 5},
+		{Op: isa.OpMod, Rd: 0, Rn: 0, Rm: 1},
+		{Op: isa.OpAnd, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpOr, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpXor, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpShl, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpShr, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpAddImm, Rd: 5, Rn: 5, Imm: 96},
+		{Op: isa.OpFAdd, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpFSub, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpFMul, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpFDiv, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpItoF, Rd: 1, Rn: 2},
+		{Op: isa.OpFtoI, Rd: 1, Rn: 2},
+		{Op: isa.OpCmpEq, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpCmpNe, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpCmpLt, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpCmpLe, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpCmpGt, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpCmpGe, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpFCmpEq, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpFCmpLt, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpFCmpLe, Rd: 1, Rn: 1, Rm: 2},
+		{Op: isa.OpCall, Imm: target},
+		{Op: isa.OpJmp, Imm: target},
+		{Op: isa.OpJz, Rd: 2, Imm: target},
+		{Op: isa.OpJnz, Rd: 2, Imm: target},
+		{Op: isa.OpTlsLoad, Rd: 1, Imm: 8},
+		{Op: isa.OpTlsStore, Rd: 1, Imm: 8},
+		{Op: isa.OpMrs, Rd: 1},
+		{Op: isa.OpMsr, Rd: 1},
+	}
+	if arch == isa.SX86 {
+		return append(common,
+			isa.Inst{Op: isa.OpMovImm, Rd: 3, Imm: 0x1122334455667788},
+			isa.Inst{Op: isa.OpPush, Rd: 6},
+			isa.Inst{Op: isa.OpPop, Rd: 6},
+		)
+	}
+	return append(common,
+		isa.Inst{Op: isa.OpMovZ, Rd: 9, Sh: 2, Imm: 0xbeef},
+		isa.Inst{Op: isa.OpMovK, Rd: 9, Sh: 1, Imm: 0xcafe},
+		isa.Inst{Op: isa.OpLoadPair, Rd: 8, Rm: 9, Rn: 14, Imm: 16},
+		isa.Inst{Op: isa.OpStorePair, Rd: 8, Rm: 9, Rn: 14, Imm: 16},
+	)
+}

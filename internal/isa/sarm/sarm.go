@@ -1,0 +1,397 @@
+// Package sarm implements the RISC-like simulated architecture: 16
+// general-purpose registers, fixed 32-bit little-endian instruction words,
+// three-operand ALU forms, MOVZ/MOVK immediate construction, LDP/STP pair
+// instructions, PC-relative branches, and BL/RET through a link register.
+// Its BRK word is exactly 0xD4200000, matching the aarch64 breakpoint
+// encoding cited by the paper.
+package sarm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/dapper-sim/dapper/internal/isa"
+)
+
+// WordSize is the fixed instruction length.
+const WordSize = 4
+
+// BRKWord is the fixed encoding of the trap instruction.
+const BRKWord uint32 = 0xD4200000
+
+// RETWord is the fixed encoding of RET (branch to link register).
+const RETWord uint32 = 0x44000000
+
+// Opcode bytes (bits 24..31 of the instruction word).
+const (
+	opNOP  = 0x01
+	opSVC  = 0x03
+	opBRK  = 0xD4
+	opMOVZ = 0x10 // rd(20..23) sh(18..19) imm16(0..15)
+	opMOVK = 0x11
+	opMOV  = 0x12 // rd rn
+	opLDR  = 0x13 // rd, [rn, #imm12s]
+	opSTR  = 0x14
+	opLDP  = 0x15 // rd, rm, [rn, #imm12s]
+	opSTP  = 0x16
+
+	opADD = 0x20 // rd, rn, rm
+	opSUB = 0x21
+	opMUL = 0x22
+	opDIV = 0x23
+	opMOD = 0x24
+	opAND = 0x25
+	opOR  = 0x26
+	opXOR = 0x27
+	opSHL = 0x28
+	opSHR = 0x29
+
+	opADDI = 0x2A // rd, rn, #imm12s
+
+	opFADD = 0x30
+	opFSUB = 0x31
+	opFMUL = 0x32
+	opFDIV = 0x33
+	opITOF = 0x34
+	opFTOI = 0x35
+
+	opFCMPEQ = 0x36
+	opFCMPLT = 0x37
+	opCMPEQ  = 0x38
+	opCMPNE  = 0x39
+	opCMPLT  = 0x3A
+	opCMPLE  = 0x3B
+	opCMPGT  = 0x3C
+	opCMPGE  = 0x3D
+	opFCMPLE = 0x3E
+
+	opB    = 0x40 // imm24 signed word offset, PC-relative
+	opBL   = 0x41
+	opCBZ  = 0x42 // rd, imm20 signed word offset
+	opCBNZ = 0x43
+	opRET  = 0x44
+
+	opMRS   = 0x50 // rd = TPIDR
+	opMSR   = 0x51 // TPIDR = rd
+	opLDTLS = 0x52 // rd = mem[TPIDR + imm16s]
+	opSTTLS = 0x53
+)
+
+var alu3 = map[isa.Op]byte{
+	isa.OpAdd: opADD, isa.OpSub: opSUB, isa.OpMul: opMUL, isa.OpDiv: opDIV,
+	isa.OpMod: opMOD, isa.OpAnd: opAND, isa.OpOr: opOR, isa.OpXor: opXOR,
+	isa.OpShl: opSHL, isa.OpShr: opSHR,
+	isa.OpFAdd: opFADD, isa.OpFSub: opFSUB, isa.OpFMul: opFMUL, isa.OpFDiv: opFDIV,
+	isa.OpCmpEq: opCMPEQ, isa.OpCmpNe: opCMPNE, isa.OpCmpLt: opCMPLT,
+	isa.OpCmpLe: opCMPLE, isa.OpCmpGt: opCMPGT, isa.OpCmpGe: opCMPGE,
+	isa.OpFCmpEq: opFCMPEQ, isa.OpFCmpLt: opFCMPLT, isa.OpFCmpLe: opFCMPLE,
+}
+
+var alu3Rev = func() map[byte]isa.Op {
+	m := make(map[byte]isa.Op, len(alu3))
+	for op, b := range alu3 {
+		m[b] = op
+	}
+	return m
+}()
+
+// Coder encodes and decodes SARM machine code. It is stateless.
+type Coder struct{}
+
+var _ isa.Coder = Coder{}
+
+// Arch reports isa.SARM.
+func (Coder) Arch() isa.Arch { return isa.SARM }
+
+// Size returns the encoded length of inst. Every SARM instruction is one
+// 4-byte word except the OpMovImm pseudo-instruction, which always expands
+// to a fixed MOVZ + 3×MOVK sequence (16 bytes) so that sizing is
+// value-independent.
+func (Coder) Size(inst isa.Inst) int {
+	if inst.Op == isa.OpMovImm {
+		return 4 * WordSize
+	}
+	return WordSize
+}
+
+func signExt(v uint32, bits uint) int64 {
+	shift := 64 - bits
+	return int64(uint64(v)<<shift) >> shift
+}
+
+func fitsSigned(v int64, bits uint) bool {
+	limit := int64(1) << (bits - 1)
+	return v >= -limit && v < limit
+}
+
+func checkReg(rs ...isa.Reg) error {
+	for _, r := range rs {
+		if r > 15 {
+			return fmt.Errorf("sarm: register r%d out of range", r)
+		}
+	}
+	return nil
+}
+
+func word(op byte, rd, rn, rm isa.Reg, imm12 int64) uint32 {
+	return uint32(op)<<24 | uint32(rd&0xf)<<20 | uint32(rn&0xf)<<16 |
+		uint32(rm&0xf)<<12 | uint32(imm12)&0xfff
+}
+
+func appendWord(dst []byte, w uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, w)
+}
+
+// Encode appends the encoding of inst at address pc to dst. Branch targets
+// in inst.Imm are absolute; PC-relative displacements are computed here.
+func (c Coder) Encode(dst []byte, inst isa.Inst, pc uint64) ([]byte, error) {
+	switch inst.Op {
+	case isa.OpNop:
+		return appendWord(dst, uint32(opNOP)<<24), nil
+	case isa.OpTrap:
+		return appendWord(dst, BRKWord), nil
+	case isa.OpSyscall:
+		return appendWord(dst, uint32(opSVC)<<24), nil
+	case isa.OpRet:
+		return appendWord(dst, RETWord), nil
+	case isa.OpMovImm:
+		if err := checkReg(inst.Rd); err != nil {
+			return nil, err
+		}
+		u := uint64(inst.Imm)
+		for sh := 0; sh < 4; sh++ {
+			op := byte(opMOVK)
+			if sh == 0 {
+				op = opMOVZ
+			}
+			chunk := uint32(u >> (16 * sh) & 0xffff)
+			w := uint32(op)<<24 | uint32(inst.Rd&0xf)<<20 | uint32(sh)<<18 | chunk
+			dst = appendWord(dst, w)
+		}
+		return dst, nil
+	case isa.OpMovZ, isa.OpMovK:
+		if err := checkReg(inst.Rd); err != nil {
+			return nil, err
+		}
+		if inst.Imm < 0 || inst.Imm > 0xffff || inst.Sh > 3 {
+			return nil, fmt.Errorf("sarm: movz/movk immediate %d shift %d out of range", inst.Imm, inst.Sh)
+		}
+		op := byte(opMOVZ)
+		if inst.Op == isa.OpMovK {
+			op = opMOVK
+		}
+		w := uint32(op)<<24 | uint32(inst.Rd&0xf)<<20 | uint32(inst.Sh)<<18 | uint32(inst.Imm)
+		return appendWord(dst, w), nil
+	case isa.OpMov:
+		if err := checkReg(inst.Rd, inst.Rn); err != nil {
+			return nil, err
+		}
+		return appendWord(dst, word(opMOV, inst.Rd, inst.Rn, 0, 0)), nil
+	case isa.OpLoad, isa.OpStore:
+		if err := checkReg(inst.Rd, inst.Rn); err != nil {
+			return nil, err
+		}
+		if !fitsSigned(inst.Imm, 12) {
+			return nil, fmt.Errorf("sarm: %v: offset %d exceeds imm12", inst.Op, inst.Imm)
+		}
+		op := byte(opLDR)
+		if inst.Op == isa.OpStore {
+			op = opSTR
+		}
+		return appendWord(dst, word(op, inst.Rd, inst.Rn, 0, inst.Imm)), nil
+	case isa.OpLoadPair, isa.OpStorePair:
+		if err := checkReg(inst.Rd, inst.Rn, inst.Rm); err != nil {
+			return nil, err
+		}
+		if !fitsSigned(inst.Imm, 12) {
+			return nil, fmt.Errorf("sarm: %v: offset %d exceeds imm12", inst.Op, inst.Imm)
+		}
+		op := byte(opLDP)
+		if inst.Op == isa.OpStorePair {
+			op = opSTP
+		}
+		return appendWord(dst, word(op, inst.Rd, inst.Rn, inst.Rm, inst.Imm)), nil
+	case isa.OpLea, isa.OpAddImm:
+		if err := checkReg(inst.Rd, inst.Rn); err != nil {
+			return nil, err
+		}
+		if !fitsSigned(inst.Imm, 12) {
+			return nil, fmt.Errorf("sarm: addi: immediate %d exceeds imm12", inst.Imm)
+		}
+		return appendWord(dst, word(opADDI, inst.Rd, inst.Rn, 0, inst.Imm)), nil
+	case isa.OpItoF, isa.OpFtoI:
+		if err := checkReg(inst.Rd, inst.Rn); err != nil {
+			return nil, err
+		}
+		op := byte(opITOF)
+		if inst.Op == isa.OpFtoI {
+			op = opFTOI
+		}
+		return appendWord(dst, word(op, inst.Rd, inst.Rn, 0, 0)), nil
+	case isa.OpJmp, isa.OpCall:
+		off := inst.Imm - int64(pc)
+		if off%WordSize != 0 {
+			return nil, fmt.Errorf("sarm: branch target 0x%x misaligned", uint64(inst.Imm))
+		}
+		words := off / WordSize
+		if !fitsSigned(words, 24) {
+			return nil, fmt.Errorf("sarm: branch offset %d words exceeds imm24", words)
+		}
+		op := byte(opB)
+		if inst.Op == isa.OpCall {
+			op = opBL
+		}
+		return appendWord(dst, uint32(op)<<24|uint32(words)&0xffffff), nil
+	case isa.OpJz, isa.OpJnz:
+		if err := checkReg(inst.Rd); err != nil {
+			return nil, err
+		}
+		off := inst.Imm - int64(pc)
+		if off%WordSize != 0 {
+			return nil, fmt.Errorf("sarm: branch target 0x%x misaligned", uint64(inst.Imm))
+		}
+		words := off / WordSize
+		if !fitsSigned(words, 20) {
+			return nil, fmt.Errorf("sarm: cbz offset %d words exceeds imm20", words)
+		}
+		op := byte(opCBZ)
+		if inst.Op == isa.OpJnz {
+			op = opCBNZ
+		}
+		return appendWord(dst, uint32(op)<<24|uint32(inst.Rd&0xf)<<20|uint32(words)&0xfffff), nil
+	case isa.OpMrs, isa.OpMsr:
+		if err := checkReg(inst.Rd); err != nil {
+			return nil, err
+		}
+		op := byte(opMRS)
+		if inst.Op == isa.OpMsr {
+			op = opMSR
+		}
+		return appendWord(dst, word(op, inst.Rd, 0, 0, 0)), nil
+	case isa.OpTlsLoad, isa.OpTlsStore:
+		if err := checkReg(inst.Rd); err != nil {
+			return nil, err
+		}
+		if !fitsSigned(inst.Imm, 16) {
+			return nil, fmt.Errorf("sarm: tls offset %d exceeds imm16", inst.Imm)
+		}
+		op := byte(opLDTLS)
+		if inst.Op == isa.OpTlsStore {
+			op = opSTTLS
+		}
+		w := uint32(op)<<24 | uint32(inst.Rd&0xf)<<20 | uint32(inst.Imm)&0xffff
+		return appendWord(dst, w), nil
+	default:
+		op, ok := alu3[inst.Op]
+		if !ok {
+			return nil, fmt.Errorf("sarm: cannot encode %v", inst.Op)
+		}
+		if err := checkReg(inst.Rd, inst.Rn, inst.Rm); err != nil {
+			return nil, err
+		}
+		return appendWord(dst, word(op, inst.Rd, inst.Rn, inst.Rm, 0)), nil
+	}
+}
+
+// DecodeError reports an undecodable instruction word.
+type DecodeError struct {
+	PC   uint64
+	Word uint32
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("sarm: illegal instruction 0x%08x at 0x%x", e.Word, e.PC)
+}
+
+// Decode decodes the instruction word at b[0:4], located at address pc.
+func (Coder) Decode(b []byte, pc uint64) (isa.Inst, error) {
+	if len(b) < WordSize {
+		return isa.Inst{}, &DecodeError{PC: pc}
+	}
+	w := binary.LittleEndian.Uint32(b)
+	op := byte(w >> 24)
+	rd := isa.Reg(w >> 20 & 0xf)
+	rn := isa.Reg(w >> 16 & 0xf)
+	rm := isa.Reg(w >> 12 & 0xf)
+	imm12 := signExt(w&0xfff, 12)
+	out := isa.Inst{Len: WordSize}
+	switch op {
+	case opNOP:
+		out.Op = isa.OpNop
+	case opBRK:
+		if w != BRKWord {
+			return isa.Inst{}, &DecodeError{PC: pc, Word: w}
+		}
+		out.Op = isa.OpTrap
+	case opSVC:
+		out.Op = isa.OpSyscall
+	case opRET:
+		if w != RETWord {
+			return isa.Inst{}, &DecodeError{PC: pc, Word: w}
+		}
+		out.Op = isa.OpRet
+	case opMOVZ, opMOVK:
+		out.Op = isa.OpMovZ
+		if op == opMOVK {
+			out.Op = isa.OpMovK
+		}
+		out.Rd = rd
+		out.Sh = uint8(w >> 18 & 3)
+		out.Imm = int64(w & 0xffff)
+	case opMOV:
+		out.Op, out.Rd, out.Rn = isa.OpMov, rd, rn
+	case opLDR, opSTR:
+		out.Op = isa.OpLoad
+		if op == opSTR {
+			out.Op = isa.OpStore
+		}
+		out.Rd, out.Rn, out.Imm = rd, rn, imm12
+	case opLDP, opSTP:
+		out.Op = isa.OpLoadPair
+		if op == opSTP {
+			out.Op = isa.OpStorePair
+		}
+		out.Rd, out.Rn, out.Rm, out.Imm = rd, rn, rm, imm12
+	case opADDI:
+		out.Op, out.Rd, out.Rn, out.Imm = isa.OpAddImm, rd, rn, imm12
+	case opITOF, opFTOI:
+		out.Op = isa.OpItoF
+		if op == opFTOI {
+			out.Op = isa.OpFtoI
+		}
+		out.Rd, out.Rn = rd, rn
+	case opB, opBL:
+		out.Op = isa.OpJmp
+		if op == opBL {
+			out.Op = isa.OpCall
+		}
+		out.Imm = int64(pc) + WordSize*signExt(w&0xffffff, 24)
+	case opCBZ, opCBNZ:
+		out.Op = isa.OpJz
+		if op == opCBNZ {
+			out.Op = isa.OpJnz
+		}
+		out.Rd = rd
+		out.Imm = int64(pc) + WordSize*signExt(w&0xfffff, 20)
+	case opMRS, opMSR:
+		out.Op = isa.OpMrs
+		if op == opMSR {
+			out.Op = isa.OpMsr
+		}
+		out.Rd = rd
+	case opLDTLS, opSTTLS:
+		out.Op = isa.OpTlsLoad
+		if op == opSTTLS {
+			out.Op = isa.OpTlsStore
+		}
+		out.Rd = rd
+		out.Imm = signExt(w&0xffff, 16)
+	default:
+		sem, ok := alu3Rev[op]
+		if !ok {
+			return isa.Inst{}, &DecodeError{PC: pc, Word: w}
+		}
+		out.Op, out.Rd, out.Rn, out.Rm = sem, rd, rn, rm
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package sarm
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/isa/isatest"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var c Coder
+	const pc = 0x400000
+	for _, in := range isatest.SampleInsts(isa.SARM, pc) {
+		if in.Op == isa.OpMovImm {
+			continue // pseudo-instruction, tested separately
+		}
+		b, err := c.Encode(nil, in, pc)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		if len(b) != WordSize {
+			t.Errorf("%v: encoded %d bytes, want 4", in, len(b))
+		}
+		out, err := c.Decode(b, pc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		want := in
+		want.Len = WordSize
+		if want.Op == isa.OpLea {
+			want.Op = isa.OpAddImm // LEA lowers to ADDI on SARM
+		}
+		if out != want {
+			t.Errorf("round trip %v -> %08x -> %v", in, binary.LittleEndian.Uint32(b), out)
+		}
+	}
+}
+
+func TestMovImmExpansion(t *testing.T) {
+	var c Coder
+	const imm = int64(-6148914691236517206) // 0xAAAA... pattern
+	in := isa.Inst{Op: isa.OpMovImm, Rd: 9, Imm: imm}
+	if c.Size(in) != 16 {
+		t.Fatalf("Size(movimm) = %d, want 16", c.Size(in))
+	}
+	b, err := c.Encode(nil, in, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 16 {
+		t.Fatalf("encoded %d bytes, want 16", len(b))
+	}
+	// Simulate the MOVZ/MOVK sequence.
+	var v uint64
+	for i := 0; i < 4; i++ {
+		out, err := c.Decode(b[i*4:], uint64(0x400000+i*4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch out.Op {
+		case isa.OpMovZ:
+			v = uint64(out.Imm) << (16 * out.Sh)
+		case isa.OpMovK:
+			mask := uint64(0xffff) << (16 * out.Sh)
+			v = v&^mask | uint64(out.Imm)<<(16*out.Sh)
+		default:
+			t.Fatalf("word %d: unexpected op %v", i, out.Op)
+		}
+	}
+	if int64(v) != imm {
+		t.Errorf("MOVZ/MOVK sequence builds %d, want %d", int64(v), imm)
+	}
+}
+
+func TestBRKWordMatchesPaper(t *testing.T) {
+	var c Coder
+	b, err := c.Encode(nil, isa.Inst{Op: isa.OpTrap}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := binary.LittleEndian.Uint32(b); w != 0xD4200000 {
+		t.Errorf("BRK = %08x, want D4200000", w)
+	}
+}
+
+func TestBranchRelative(t *testing.T) {
+	var c Coder
+	// Forward and backward branches must round-trip through PC-relative
+	// encoding.
+	for _, target := range []int64{0x400100, 0x3fff00} {
+		in := isa.Inst{Op: isa.OpCall, Imm: target}
+		b, err := c.Encode(nil, in, 0x400000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Decode(b, 0x400000)
+		if err != nil || out.Imm != target {
+			t.Errorf("target 0x%x: got 0x%x err=%v", target, out.Imm, err)
+		}
+	}
+}
+
+func TestBranchRangeError(t *testing.T) {
+	var c Coder
+	_, err := c.Encode(nil, isa.Inst{Op: isa.OpJmp, Imm: 1 << 40}, 0x400000)
+	if err == nil {
+		t.Error("want range error for distant branch")
+	}
+	_, err = c.Encode(nil, isa.Inst{Op: isa.OpJmp, Imm: 0x400001}, 0x400000)
+	if err == nil {
+		t.Error("want alignment error for misaligned branch")
+	}
+}
+
+func TestImm12Range(t *testing.T) {
+	var c Coder
+	if _, err := c.Encode(nil, isa.Inst{Op: isa.OpLoad, Rd: 1, Rn: 14, Imm: 4096}, 0); err == nil {
+		t.Error("want range error for imm12 overflow")
+	}
+	b, err := c.Encode(nil, isa.Inst{Op: isa.OpLoad, Rd: 1, Rn: 14, Imm: -2048}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(b, 0)
+	if err != nil || out.Imm != -2048 {
+		t.Errorf("imm -2048: got %d err=%v", out.Imm, err)
+	}
+}
+
+func TestDecodeIllegal(t *testing.T) {
+	var c Coder
+	w := make([]byte, 4)
+	binary.LittleEndian.PutUint32(w, 0xFF000000)
+	_, err := c.Decode(w, 0x2000)
+	var de *DecodeError
+	if !errors.As(err, &de) || de.PC != 0x2000 {
+		t.Fatalf("want DecodeError at 0x2000, got %v", err)
+	}
+	// A BRK word with nonzero payload bits is illegal.
+	binary.LittleEndian.PutUint32(w, 0xD4200001)
+	if _, err := c.Decode(w, 0); err == nil {
+		t.Error("want error for malformed BRK")
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var c Coder
+	buf, _ := c.Encode(nil, isa.Inst{Op: isa.OpLoad, Rd: 1, Rn: 14, Imm: -16}, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDecodeArbitraryWordsNeverPanics sweeps pseudo-random instruction
+// words: each must decode cleanly or error, never panic, and always
+// consume exactly one word.
+func TestDecodeArbitraryWordsNeverPanics(t *testing.T) {
+	var c Coder
+	seed := uint64(0xdeadbeefcafef00d)
+	w := make([]byte, 4)
+	for trial := 0; trial < 200000; trial++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		binary.LittleEndian.PutUint32(w, uint32(seed>>29))
+		inst, err := c.Decode(w, 0x400000)
+		if err == nil && inst.Len != 4 {
+			t.Fatalf("decoded length %d, want 4", inst.Len)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package sx86
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/isa/isatest"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var c Coder
+	const pc = 0x400000
+	for _, in := range isatest.SampleInsts(isa.SX86, pc) {
+		b, err := c.Encode(nil, in, pc)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		if len(b) != c.Size(in) {
+			t.Errorf("%v: Size()=%d but encoded %d bytes", in, c.Size(in), len(b))
+		}
+		out, err := c.Decode(b, pc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		if out.Len != len(b) {
+			t.Errorf("%v: decoded Len=%d, want %d", in, out.Len, len(b))
+		}
+		want := in
+		// OpLea survives as-is on SX86.
+		want.Len = out.Len
+		if out != want {
+			t.Errorf("round trip %v -> % x -> %v", in, b, out)
+		}
+	}
+}
+
+func TestFixedOpcodes(t *testing.T) {
+	var c Coder
+	ret, err := c.Encode(nil, isa.Inst{Op: isa.OpRet}, 0)
+	if err != nil || len(ret) != 1 || ret[0] != 0xC3 {
+		t.Errorf("RET = % x, want C3 (err %v)", ret, err)
+	}
+	trap, err := c.Encode(nil, isa.Inst{Op: isa.OpTrap}, 0)
+	if err != nil || len(trap) != 1 || trap[0] != 0xCC {
+		t.Errorf("TRAP = % x, want CC (err %v)", trap, err)
+	}
+}
+
+func TestTwoOperandConstraint(t *testing.T) {
+	var c Coder
+	_, err := c.Encode(nil, isa.Inst{Op: isa.OpAdd, Rd: 1, Rn: 2, Rm: 3}, 0)
+	if err == nil {
+		t.Error("want error encoding three-operand ADD on SX86")
+	}
+}
+
+func TestRegisterRange(t *testing.T) {
+	var c Coder
+	_, err := c.Encode(nil, isa.Inst{Op: isa.OpMov, Rd: 9, Rn: 0}, 0)
+	if err == nil {
+		t.Error("want error for register r9 on SX86")
+	}
+}
+
+func TestDecodeUnknownOpcode(t *testing.T) {
+	var c Coder
+	_, err := c.Decode([]byte{0xEE, 0, 0, 0}, 0x1000)
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DecodeError, got %v", err)
+	}
+	if de.PC != 0x1000 || de.Opcode != 0xEE {
+		t.Errorf("DecodeError = %+v", de)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var c Coder
+	full, err := c.Encode(nil, isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 42}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(full); i++ {
+		if _, err := c.Decode(full[:i], 0); err == nil {
+			t.Errorf("decode of %d-byte prefix succeeded", i)
+		}
+	}
+}
+
+func TestNegativeDisplacement(t *testing.T) {
+	var c Coder
+	in := isa.Inst{Op: isa.OpLoad, Rd: 1, Rn: 6, Imm: -123456}
+	b, err := c.Encode(nil, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(b, 0)
+	if err != nil || out.Imm != -123456 {
+		t.Errorf("got Imm=%d err=%v, want -123456", out.Imm, err)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var c Coder
+	buf, _ := c.Encode(nil, isa.Inst{Op: isa.OpLoad, Rd: 1, Rn: 6, Imm: -16}, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDecodeArbitraryBytesNeverPanics feeds random byte windows to the
+// decoder: every outcome must be a clean Inst or error (the gadget scanner
+// decodes at every byte offset of real binaries).
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	var c Coder
+	seed := uint64(0x9e3779b97f4a7c15)
+	buf := make([]byte, 64)
+	for trial := 0; trial < 2000; trial++ {
+		for i := range buf {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			buf[i] = byte(seed >> 33)
+		}
+		for off := 0; off < len(buf); off++ {
+			inst, err := c.Decode(buf[off:], uint64(off))
+			if err == nil && (inst.Len <= 0 || inst.Len > 10) {
+				t.Fatalf("decoded length %d out of range", inst.Len)
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package lang
+
+// Type is a DapC type.
+type Type struct {
+	Kind TypeKind
+	// Elem is the pointee for TypePtr.
+	Elem *Type
+}
+
+// TypeKind enumerates DapC's types.
+type TypeKind uint8
+
+// Type kinds. Arrays are not first-class values: an array declaration
+// creates a stack (or global) allocation; the identifier evaluates to its
+// address and must be indexed.
+const (
+	TypeInt TypeKind = iota + 1
+	TypeFloat
+	TypePtr
+	TypeVoid
+)
+
+// Convenience type singletons.
+var (
+	IntType   = &Type{Kind: TypeInt}
+	FloatType = &Type{Kind: TypeFloat}
+	VoidType  = &Type{Kind: TypeVoid}
+	IntPtr    = &Type{Kind: TypePtr, Elem: IntType}
+	FloatPtr  = &Type{Kind: TypePtr, Elem: FloatType}
+)
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeVoid:
+		return "void"
+	case TypePtr:
+		return "*" + t.Elem.String()
+	default:
+		return "?"
+	}
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	if t.Kind == TypePtr {
+		return t.Elem.Equal(o.Elem)
+	}
+	return true
+}
+
+// IsPtr reports whether the type is a pointer.
+func (t *Type) IsPtr() bool { return t.Kind == TypePtr }
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Exprs.
+type (
+	// IntLit is an integer literal (also produced for named constants).
+	IntLit struct {
+		Pos Pos
+		Val int64
+	}
+	// FloatLit is a float literal.
+	FloatLit struct {
+		Pos Pos
+		Val float64
+	}
+	// StrLit appears only as the argument of print().
+	StrLit struct {
+		Pos Pos
+		Val string
+	}
+	// Ident references a variable, parameter, global, or function name.
+	Ident struct {
+		Pos  Pos
+		Name string
+	}
+	// Index is a[i] on an array or pointer.
+	Index struct {
+		Pos  Pos
+		Base Expr
+		Idx  Expr
+	}
+	// Unary is -x, !x, &lv, or *p.
+	Unary struct {
+		Pos Pos
+		Op  string
+		X   Expr
+	}
+	// Binary is a binary operation, including && and || (short-circuit).
+	Binary struct {
+		Pos  Pos
+		Op   string
+		L, R Expr
+	}
+	// Call invokes a function or builtin.
+	Call struct {
+		Pos  Pos
+		Name string
+		Args []Expr
+	}
+	// Cast is int(x) or float(x).
+	Cast struct {
+		Pos Pos
+		To  *Type
+		X   Expr
+	}
+)
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*StrLit) exprNode()   {}
+func (*Ident) exprNode()    {}
+func (*Index) exprNode()    {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Call) exprNode()     {}
+func (*Cast) exprNode()     {}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Stmts.
+type (
+	// VarDecl declares a local variable or array. ArrayLen < 0 means a
+	// scalar. Init is optional (scalars only).
+	VarDecl struct {
+		Pos      Pos
+		Name     string
+		Type     *Type
+		ArrayLen int64
+		Init     Expr
+	}
+	// Assign stores to an lvalue (Ident, Index, or Unary{*}).
+	Assign struct {
+		Pos Pos
+		LHS Expr
+		RHS Expr
+	}
+	// If with optional Else (which may be another If via Block).
+	If struct {
+		Pos  Pos
+		Cond Expr
+		Then *Block
+		Else *Block
+	}
+	// While loop.
+	While struct {
+		Pos  Pos
+		Cond Expr
+		Body *Block
+	}
+	// For is C-style: for init; cond; post { body }. Init and Post are
+	// optional simple statements (assign or var decl for Init).
+	For struct {
+		Pos  Pos
+		Init Stmt
+		Cond Expr
+		Post Stmt
+		Body *Block
+	}
+	// Return with optional value.
+	Return struct {
+		Pos Pos
+		Val Expr
+	}
+	// Break / Continue.
+	Break    struct{ Pos Pos }
+	Continue struct{ Pos Pos }
+	// ExprStmt evaluates an expression for effect (calls).
+	ExprStmt struct {
+		Pos Pos
+		X   Expr
+	}
+	// Block is a brace-delimited statement list with its own scope.
+	Block struct {
+		Pos   Pos
+		Stmts []Stmt
+	}
+)
+
+func (*VarDecl) stmtNode()  {}
+func (*Assign) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*ExprStmt) stmtNode() {}
+func (*Block) stmtNode()    {}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Ret    *Type // VoidType if none
+	Body   *Block
+}
+
+// GlobalDecl is a file-scope variable or array.
+type GlobalDecl struct {
+	Pos      Pos
+	Name     string
+	Type     *Type
+	ArrayLen int64 // <0 for scalar
+}
+
+// ConstDecl is a named compile-time integer constant.
+type ConstDecl struct {
+	Pos  Pos
+	Name string
+	Val  int64
+}
+
+// File is a parsed source file.
+type File struct {
+	Globals []*GlobalDecl
+	Consts  []*ConstDecl
+	Funcs   []*FuncDecl
+}

@@ -1,0 +1,587 @@
+package lang
+
+import "fmt"
+
+// Object is a resolved reference target.
+type Object interface{ objNode() }
+
+// LocalObj is a local variable, array, or parameter.
+type LocalObj struct {
+	Name     string
+	Type     *Type // element type for arrays
+	IsArray  bool
+	ArrayLen int64
+	IsParam  bool
+	ParamIdx int
+	// SlotID is assigned by the checker in declaration order (params
+	// first); the IR layer uses it directly so both backends agree.
+	SlotID int
+}
+
+// GlobalObj is a file-scope variable or array.
+type GlobalObj struct {
+	Name     string
+	Type     *Type
+	IsArray  bool
+	ArrayLen int64
+}
+
+// FuncObj names a function (valid only as spawn's first argument).
+type FuncObj struct {
+	Decl *FuncDecl
+}
+
+func (*LocalObj) objNode()  {}
+func (*GlobalObj) objNode() {}
+func (*FuncObj) objNode()   {}
+
+// BuiltinSig describes a builtin callable.
+type BuiltinSig struct {
+	Params []*Type
+	Ret    *Type
+}
+
+// Builtins maps builtin names to signatures. spawn and print are
+// special-cased in the checker.
+var Builtins = map[string]BuiltinSig{
+	"printi": {Params: []*Type{IntType}, Ret: VoidType},
+	"printf": {Params: []*Type{FloatType}, Ret: VoidType},
+	"alloc":  {Params: []*Type{IntType}, Ret: IntPtr},
+	"allocf": {Params: []*Type{IntType}, Ret: FloatPtr},
+	"join":   {Params: []*Type{IntType}, Ret: VoidType},
+	"lock":   {Params: []*Type{IntType}, Ret: VoidType},
+	"unlock": {Params: []*Type{IntType}, Ret: VoidType},
+	"yield":  {Params: nil, Ret: VoidType},
+	"time":   {Params: nil, Ret: IntType},
+	"tid":    {Params: nil, Ret: IntType},
+	"ncores": {Params: nil, Ret: IntType},
+	"recv":   {Params: []*Type{IntPtr, IntType}, Ret: IntType},
+	"send":   {Params: []*Type{IntPtr, IntType}, Ret: VoidType},
+	"exit":   {Params: []*Type{IntType}, Ret: VoidType},
+}
+
+// Info is the checker's output consumed by IR lowering.
+type Info struct {
+	Types map[Expr]*Type
+	Uses  map[*Ident]Object
+	// LocalOf maps each VarDecl to its LocalObj (slot identity).
+	LocalOf map[*VarDecl]*LocalObj
+	// FuncLocals lists every local object of a function in slot order.
+	FuncLocals map[*FuncDecl][]*LocalObj
+	Funcs      map[string]*FuncDecl
+	Globals    map[string]*GlobalObj
+}
+
+type checker struct {
+	file *File
+	info *Info
+
+	fn     *FuncDecl
+	locals []*LocalObj
+	scopes []map[string]*LocalObj
+}
+
+// Check type-checks the file and resolves references.
+func Check(file *File) (*Info, error) {
+	info := &Info{
+		Types:      make(map[Expr]*Type),
+		Uses:       make(map[*Ident]Object),
+		LocalOf:    make(map[*VarDecl]*LocalObj),
+		FuncLocals: make(map[*FuncDecl][]*LocalObj),
+		Funcs:      make(map[string]*FuncDecl),
+		Globals:    make(map[string]*GlobalObj),
+	}
+	c := &checker{file: file, info: info}
+	for _, g := range file.Globals {
+		if _, dup := info.Globals[g.Name]; dup {
+			return nil, errf(g.Pos, "duplicate global %q", g.Name)
+		}
+		if g.ArrayLen >= 0 && g.Type.IsPtr() {
+			return nil, errf(g.Pos, "arrays of pointers are not supported (each pointer must be a named slot for stack rewriting)")
+		}
+		info.Globals[g.Name] = &GlobalObj{Name: g.Name, Type: g.Type, IsArray: g.ArrayLen >= 0, ArrayLen: g.ArrayLen}
+	}
+	for _, fn := range file.Funcs {
+		if _, dup := info.Funcs[fn.Name]; dup {
+			return nil, errf(fn.Pos, "duplicate function %q", fn.Name)
+		}
+		if _, isBuiltin := Builtins[fn.Name]; isBuiltin || fn.Name == "print" || fn.Name == "spawn" {
+			return nil, errf(fn.Pos, "function %q shadows a builtin", fn.Name)
+		}
+		info.Funcs[fn.Name] = fn
+	}
+	if _, ok := info.Funcs["main"]; !ok {
+		return nil, errf(Pos{Line: 1, Col: 1}, "missing func main")
+	}
+	for _, fn := range file.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	return info, nil
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	if len(fn.Params) > 3 {
+		return errf(fn.Pos, "function %q has %d parameters; the cross-ISA ABI supports at most 3", fn.Name, len(fn.Params))
+	}
+	c.fn = fn
+	c.locals = nil
+	c.scopes = []map[string]*LocalObj{make(map[string]*LocalObj)}
+	for i, p := range fn.Params {
+		obj := &LocalObj{Name: p.Name, Type: p.Type, IsParam: true, ParamIdx: i, SlotID: len(c.locals)}
+		c.locals = append(c.locals, obj)
+		if _, dup := c.scopes[0][p.Name]; dup {
+			return errf(fn.Pos, "duplicate parameter %q", p.Name)
+		}
+		c.scopes[0][p.Name] = obj
+	}
+	if err := c.checkBlock(fn.Body); err != nil {
+		return err
+	}
+	c.info.FuncLocals[fn] = c.locals
+	return nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*LocalObj)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) (*LocalObj, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if o, ok := c.scopes[i][name]; ok {
+			return o, true
+		}
+	}
+	return nil, false
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) declare(d *VarDecl) error {
+	scope := c.scopes[len(c.scopes)-1]
+	if _, dup := scope[d.Name]; dup {
+		return errf(d.Pos, "duplicate variable %q in this scope", d.Name)
+	}
+	if d.ArrayLen >= 0 && d.Type.IsPtr() {
+		return errf(d.Pos, "arrays of pointers are not supported (each pointer must be a named slot for stack rewriting)")
+	}
+	obj := &LocalObj{Name: d.Name, Type: d.Type, IsArray: d.ArrayLen >= 0, ArrayLen: d.ArrayLen, SlotID: len(c.locals)}
+	c.locals = append(c.locals, obj)
+	scope[d.Name] = obj
+	c.info.LocalOf[d] = obj
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *VarDecl:
+		if err := c.declare(s); err != nil {
+			return err
+		}
+		if s.Init != nil {
+			t, err := c.checkExpr(s.Init)
+			if err != nil {
+				return err
+			}
+			if !t.Equal(s.Type) {
+				return errf(s.Pos, "cannot initialize %s %q with %s", s.Type, s.Name, t)
+			}
+		}
+		return nil
+	case *Assign:
+		lt, err := c.checkLValue(s.LHS)
+		if err != nil {
+			return err
+		}
+		rt, err := c.checkExpr(s.RHS)
+		if err != nil {
+			return err
+		}
+		if !lt.Equal(rt) {
+			return errf(s.Pos, "cannot assign %s to %s", rt, lt)
+		}
+		return nil
+	case *If:
+		t, err := c.checkExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TypeInt {
+			return errf(s.Pos, "if condition must be int, got %s", t)
+		}
+		if err := c.checkBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkBlock(s.Else)
+		}
+		return nil
+	case *While:
+		t, err := c.checkExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TypeInt {
+			return errf(s.Pos, "while condition must be int, got %s", t)
+		}
+		return c.checkBlock(s.Body)
+	case *For:
+		c.push()
+		defer c.pop()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			t, err := c.checkExpr(s.Cond)
+			if err != nil {
+				return err
+			}
+			if t.Kind != TypeInt {
+				return errf(s.Pos, "for condition must be int, got %s", t)
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		return c.checkBlock(s.Body)
+	case *Return:
+		if s.Val == nil {
+			if c.fn.Ret.Kind != TypeVoid {
+				return errf(s.Pos, "missing return value in %q", c.fn.Name)
+			}
+			return nil
+		}
+		t, err := c.checkExpr(s.Val)
+		if err != nil {
+			return err
+		}
+		if !t.Equal(c.fn.Ret) {
+			return errf(s.Pos, "return type %s does not match %s", t, c.fn.Ret)
+		}
+		return nil
+	case *Break, *Continue:
+		return nil
+	case *ExprStmt:
+		_, err := c.checkExprAllowVoid(s.X)
+		return err
+	case *Block:
+		return c.checkBlock(s)
+	default:
+		return fmt.Errorf("dapc: unknown statement %T", s)
+	}
+}
+
+// checkLValue types an assignable expression.
+func (c *checker) checkLValue(e Expr) (*Type, error) {
+	switch e := e.(type) {
+	case *Ident:
+		t, err := c.checkExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		if obj, ok := c.info.Uses[e]; ok {
+			switch o := obj.(type) {
+			case *LocalObj:
+				if o.IsArray {
+					return nil, errf(e.Pos, "cannot assign to array %q", e.Name)
+				}
+			case *GlobalObj:
+				if o.IsArray {
+					return nil, errf(e.Pos, "cannot assign to array %q", e.Name)
+				}
+			case *FuncObj:
+				return nil, errf(e.Pos, "cannot assign to function %q", e.Name)
+			}
+		}
+		return t, nil
+	case *Index:
+		return c.checkExpr(e)
+	case *Unary:
+		if e.Op != "*" {
+			return nil, errf(e.Pos, "not an lvalue")
+		}
+		return c.checkExpr(e)
+	default:
+		return nil, errf(exprPos(e), "not an lvalue")
+	}
+}
+
+func exprPos(e Expr) Pos {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Pos
+	case *FloatLit:
+		return e.Pos
+	case *StrLit:
+		return e.Pos
+	case *Ident:
+		return e.Pos
+	case *Index:
+		return e.Pos
+	case *Unary:
+		return e.Pos
+	case *Binary:
+		return e.Pos
+	case *Call:
+		return e.Pos
+	case *Cast:
+		return e.Pos
+	default:
+		return Pos{}
+	}
+}
+
+func (c *checker) checkExpr(e Expr) (*Type, error) {
+	t, err := c.checkExprAllowVoid(e)
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind == TypeVoid {
+		return nil, errf(exprPos(e), "void value used as expression")
+	}
+	return t, nil
+}
+
+func (c *checker) checkExprAllowVoid(e Expr) (*Type, error) {
+	t, err := c.typeOf(e)
+	if err != nil {
+		return nil, err
+	}
+	c.info.Types[e] = t
+	return t, nil
+}
+
+func (c *checker) typeOf(e Expr) (*Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return IntType, nil
+	case *FloatLit:
+		return FloatType, nil
+	case *StrLit:
+		return nil, errf(e.Pos, "string literals may only appear as print() arguments")
+	case *Ident:
+		if obj, ok := c.lookup(e.Name); ok {
+			c.info.Uses[e] = obj
+			if obj.IsArray {
+				return &Type{Kind: TypePtr, Elem: obj.Type}, nil
+			}
+			return obj.Type, nil
+		}
+		if g, ok := c.info.Globals[e.Name]; ok {
+			c.info.Uses[e] = g
+			if g.IsArray {
+				return &Type{Kind: TypePtr, Elem: g.Type}, nil
+			}
+			return g.Type, nil
+		}
+		if fn, ok := c.info.Funcs[e.Name]; ok {
+			c.info.Uses[e] = &FuncObj{Decl: fn}
+			return nil, errf(e.Pos, "function %q used as value (only spawn takes a function)", e.Name)
+		}
+		return nil, errf(e.Pos, "undefined: %q", e.Name)
+	case *Index:
+		bt, err := c.checkExpr(e.Base)
+		if err != nil {
+			return nil, err
+		}
+		if bt.Kind != TypePtr {
+			return nil, errf(e.Pos, "cannot index %s", bt)
+		}
+		it, err := c.checkExpr(e.Idx)
+		if err != nil {
+			return nil, err
+		}
+		if it.Kind != TypeInt {
+			return nil, errf(e.Pos, "index must be int, got %s", it)
+		}
+		return bt.Elem, nil
+	case *Unary:
+		switch e.Op {
+		case "-":
+			t, err := c.checkExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind != TypeInt && t.Kind != TypeFloat {
+				return nil, errf(e.Pos, "cannot negate %s", t)
+			}
+			return t, nil
+		case "!":
+			t, err := c.checkExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind != TypeInt {
+				return nil, errf(e.Pos, "operand of ! must be int, got %s", t)
+			}
+			return IntType, nil
+		case "&":
+			switch x := e.X.(type) {
+			case *Ident:
+				t, err := c.checkExpr(x)
+				if err != nil {
+					return nil, err
+				}
+				if t.Kind == TypePtr {
+					if obj, ok := c.info.Uses[x]; ok {
+						if lo, isLocal := obj.(*LocalObj); isLocal && lo.IsArray {
+							// &array is the array address itself.
+							return t, nil
+						}
+						if g, isGlobal := obj.(*GlobalObj); isGlobal && g.IsArray {
+							return t, nil
+						}
+					}
+				}
+				return &Type{Kind: TypePtr, Elem: t}, nil
+			case *Index:
+				t, err := c.checkExpr(x)
+				if err != nil {
+					return nil, err
+				}
+				return &Type{Kind: TypePtr, Elem: t}, nil
+			default:
+				return nil, errf(e.Pos, "cannot take address of this expression")
+			}
+		case "*":
+			t, err := c.checkExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind != TypePtr {
+				return nil, errf(e.Pos, "cannot dereference %s", t)
+			}
+			return t.Elem, nil
+		default:
+			return nil, errf(e.Pos, "unknown unary operator %q", e.Op)
+		}
+	case *Binary:
+		lt, err := c.checkExpr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.checkExpr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "&&", "||", "%", "&", "|", "^", "<<", ">>":
+			if lt.Kind != TypeInt || rt.Kind != TypeInt {
+				return nil, errf(e.Pos, "operator %q requires int operands, got %s and %s", e.Op, lt, rt)
+			}
+			return IntType, nil
+		case "+", "-", "*", "/":
+			if !lt.Equal(rt) || (lt.Kind != TypeInt && lt.Kind != TypeFloat) {
+				return nil, errf(e.Pos, "operator %q requires matching numeric operands, got %s and %s", e.Op, lt, rt)
+			}
+			return lt, nil
+		case "==", "!=", "<", "<=", ">", ">=":
+			if !lt.Equal(rt) {
+				return nil, errf(e.Pos, "cannot compare %s with %s", lt, rt)
+			}
+			return IntType, nil
+		default:
+			return nil, errf(e.Pos, "unknown operator %q", e.Op)
+		}
+	case *Cast:
+		t, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != TypeInt && t.Kind != TypeFloat {
+			return nil, errf(e.Pos, "cannot cast %s", t)
+		}
+		return e.To, nil
+	case *Call:
+		return c.checkCall(e)
+	default:
+		return nil, fmt.Errorf("dapc: unknown expression %T", e)
+	}
+}
+
+func (c *checker) checkCall(e *Call) (*Type, error) {
+	switch e.Name {
+	case "print":
+		if len(e.Args) != 1 {
+			return nil, errf(e.Pos, "print takes exactly one string literal")
+		}
+		if _, ok := e.Args[0].(*StrLit); !ok {
+			return nil, errf(e.Pos, "print takes a string literal (use printi/printf for values)")
+		}
+		return VoidType, nil
+	case "spawn":
+		if len(e.Args) != 2 {
+			return nil, errf(e.Pos, "spawn takes (function, int)")
+		}
+		id, ok := e.Args[0].(*Ident)
+		if !ok {
+			return nil, errf(e.Pos, "spawn's first argument must be a function name")
+		}
+		fn, ok := c.info.Funcs[id.Name]
+		if !ok {
+			return nil, errf(e.Pos, "spawn: undefined function %q", id.Name)
+		}
+		if len(fn.Params) != 1 || fn.Params[0].Type.Kind != TypeInt || fn.Ret.Kind != TypeVoid {
+			return nil, errf(e.Pos, "spawn target %q must have signature func(int)", id.Name)
+		}
+		c.info.Uses[id] = &FuncObj{Decl: fn}
+		t, err := c.checkExpr(e.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != TypeInt {
+			return nil, errf(e.Pos, "spawn argument must be int")
+		}
+		return IntType, nil
+	}
+	if sig, ok := Builtins[e.Name]; ok {
+		if len(e.Args) != len(sig.Params) {
+			return nil, errf(e.Pos, "%s takes %d arguments, got %d", e.Name, len(sig.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			t, err := c.checkExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			want := sig.Params[i]
+			// Buffer-taking builtins accept any pointer.
+			if want.Kind == TypePtr && t.Kind == TypePtr {
+				continue
+			}
+			if !t.Equal(want) {
+				return nil, errf(e.Pos, "%s argument %d: want %s, got %s", e.Name, i+1, want, t)
+			}
+		}
+		return sig.Ret, nil
+	}
+	fn, ok := c.info.Funcs[e.Name]
+	if !ok {
+		return nil, errf(e.Pos, "call of undefined function %q", e.Name)
+	}
+	if len(e.Args) != len(fn.Params) {
+		return nil, errf(e.Pos, "%s takes %d arguments, got %d", e.Name, len(fn.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		if !t.Equal(fn.Params[i].Type) {
+			return nil, errf(e.Pos, "%s argument %d: want %s, got %s", e.Name, i+1, fn.Params[i].Type, t)
+		}
+	}
+	return fn.Ret, nil
+}

@@ -1,0 +1,198 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodProgram = `
+// K-means-ish demo exercising most of the language.
+const N = 10;
+const M = N * 2 + 1;
+
+var total int;
+var table[M] int;
+
+func add(a int, b int) int {
+	return a + b;
+}
+
+func worker(arg int) {
+	var i int = 0;
+	while i < N {
+		lock(1);
+		total = total + arg;
+		unlock(1);
+		i = i + 1;
+	}
+}
+
+func main() {
+	var x int;
+	var f float;
+	var buf[16] int;
+	var p *int;
+	x = add(2, 3);
+	f = float(x) * 1.5;
+	x = int(f);
+	p = &buf[2];
+	*p = 42;
+	buf[3] = buf[2] + 1;
+	p = alloc(128);
+	p[0] = 7;
+	if x > 3 && buf[3] == 43 {
+		print("ok\n");
+		printi(x);
+		printf(f);
+	} else {
+		print("bad");
+	}
+	for var i int = 0; i < N; i = i + 1 {
+		table[i] = i * i;
+		if i == 7 { break; }
+		if i % 2 == 0 { continue; }
+		total = total + table[i];
+	}
+	var t int;
+	t = spawn(worker, 5);
+	join(t);
+	exit(0);
+}
+`
+
+func TestParseAndCheckGoodProgram(t *testing.T) {
+	file, err := Parse(goodProgram)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(file.Funcs) != 3 {
+		t.Fatalf("got %d funcs", len(file.Funcs))
+	}
+	if file.Consts[1].Val != 21 {
+		t.Errorf("const M = %d, want 21", file.Consts[1].Val)
+	}
+	if file.Globals[1].ArrayLen != 21 {
+		t.Errorf("table len = %d, want 21", file.Globals[1].ArrayLen)
+	}
+	info, err := Check(file)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	mainFn := info.Funcs["main"]
+	locals := info.FuncLocals[mainFn]
+	// main: x, f, buf, p, i (for-loop), t
+	if len(locals) != 6 {
+		names := make([]string, len(locals))
+		for i, l := range locals {
+			names[i] = l.Name
+		}
+		t.Errorf("main locals = %v, want 6", names)
+	}
+	var sawArray bool
+	for _, l := range locals {
+		if l.IsArray && l.Name == "buf" && l.ArrayLen == 16 {
+			sawArray = true
+		}
+	}
+	if !sawArray {
+		t.Error("buf array local not recorded")
+	}
+}
+
+func TestLexerLiterals(t *testing.T) {
+	toks, err := LexAll(`42 0x1f 3.5 1e3 "a\nb" name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 42 || toks[1].Int != 31 {
+		t.Errorf("ints: %+v %+v", toks[0], toks[1])
+	}
+	if toks[2].Float != 3.5 {
+		t.Errorf("float: %+v", toks[2])
+	}
+	if toks[3].Kind != TokFloat && toks[3].Kind != TokInt {
+		t.Errorf("1e3: %+v", toks[3])
+	}
+	if toks[4].Str != "a\nb" {
+		t.Errorf("string: %q", toks[4].Str)
+	}
+	if toks[5].Kind != TokIdent || toks[5].Text != "name" {
+		t.Errorf("ident: %+v", toks[5])
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undefined var", `func main() { x = 1; }`, "undefined"},
+		{"type mismatch", `func main() { var x int; x = 1.5; }`, "assign"},
+		{"bad condition", `func main() { if 1.5 { } }`, "int"},
+		{"call arity", `func f(a int) int { return a; } func main() { var x int; x = f(1, 2); }`, "argument"},
+		{"assign to array", `func main() { var a[3] int; a = a; }`, "array"},
+		{"missing main", `func other() { }`, "main"},
+		{"too many params", `func f(a int, b int, c int, d int) { } func main() { }`, "at most 3"},
+		{"void in expr", `func main() { var x int; x = yield(); }`, "void"},
+		{"spawn sig", `func f(a float) { } func main() { var t int; t = spawn(f, 0); }`, "signature"},
+		{"string outside print", `func main() { printi("x"); }`, "string"},
+		{"deref int", `func main() { var x int; x = *x; }`, "dereference"},
+		{"compare mismatch", `func main() { var x int; if x == 1.5 { } }`, "compare"},
+		{"dup local", `func main() { var x int; var x int; }`, "duplicate"},
+		{"break ok", `func main() { while 1 { break; } }`, ""},
+		{"ptr array local", `func main() { var a[3] *int; }`, "arrays of pointers"},
+		{"ptr array global", `var g[3] *int; func main() { }`, "arrays of pointers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			file, err := Parse(tc.src)
+			if err == nil {
+				_, err = Check(file)
+			}
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got none", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`func main() { var x int`,
+		`func main() { x = ; }`,
+		`func main() { if { } }`,
+		`var x;`,
+		`func main() { print("unterminated); }`,
+		`const C = ;`,
+		`func main() { /* never closed `,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no parse error for %q", src)
+		}
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `func main() {
+		var x int;
+		if x == 1 { printi(1); } else if x == 2 { printi(2); } else { printi(3); }
+	}`
+	file, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(file); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,686 @@
+package lang
+
+import "fmt"
+
+// Parser builds the AST with one token of lookahead.
+type Parser struct {
+	toks []Token
+	pos  int
+	// consts collects named constants so later literals can fold.
+	consts map[string]int64
+}
+
+// Parse parses a DapC source file.
+func Parse(src string) (*File, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, consts: make(map[string]int64)}
+	return p.file()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) curPos() Pos { return Pos{Line: p.cur().Line, Col: p.cur().Col} }
+
+func (p *Parser) is(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) accept(kind TokKind, text string) bool {
+	if p.is(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokKind, text string) (Token, error) {
+	if !p.is(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return Token{}, errf(p.curPos(), "expected %q, found %q", want, p.cur().String())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) file() (*File, error) {
+	f := &File{}
+	for !p.is(TokEOF, "") {
+		switch {
+		case p.is(TokKeyword, "var"):
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case p.is(TokKeyword, "const"):
+			c, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			p.consts[c.Name] = c.Val
+			f.Consts = append(f.Consts, c)
+		case p.is(TokKeyword, "func"):
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, errf(p.curPos(), "expected declaration, found %q", p.cur().String())
+		}
+	}
+	return f, nil
+}
+
+// parseType parses int, float, *int, *float, **int, ...
+func (p *Parser) parseType() (*Type, error) {
+	if p.accept(TokPunct, "*") {
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		return &Type{Kind: TypePtr, Elem: elem}, nil
+	}
+	switch {
+	case p.accept(TokKeyword, "int"):
+		return IntType, nil
+	case p.accept(TokKeyword, "float"):
+		return FloatType, nil
+	default:
+		return nil, errf(p.curPos(), "expected type, found %q", p.cur().String())
+	}
+}
+
+// globalDecl: var name type ;  |  var name [ N ] type ;
+func (p *Parser) globalDecl() (*GlobalDecl, error) {
+	pos := p.curPos()
+	p.next() // var
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Pos: pos, Name: name.Text, ArrayLen: -1}
+	if p.accept(TokPunct, "[") {
+		n, err := p.constExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		g.ArrayLen = n
+	}
+	g.Type, err = p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// constDecl: const NAME = intconst ;
+func (p *Parser) constDecl() (*ConstDecl, error) {
+	pos := p.curPos()
+	p.next() // const
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "="); err != nil {
+		return nil, err
+	}
+	v, err := p.constExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &ConstDecl{Pos: pos, Name: name.Text, Val: v}, nil
+}
+
+// constExpr evaluates a compile-time integer expression (literals, named
+// constants, + - * / % << >> and parentheses).
+func (p *Parser) constExpr() (int64, error) {
+	return p.constShift()
+}
+
+func (p *Parser) constShift() (int64, error) {
+	v, err := p.constAdd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case p.accept(TokPunct, "<<"):
+			r, err := p.constAdd()
+			if err != nil {
+				return 0, err
+			}
+			v <<= uint(r)
+		case p.accept(TokPunct, ">>"):
+			r, err := p.constAdd()
+			if err != nil {
+				return 0, err
+			}
+			v >>= uint(r)
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *Parser) constAdd() (int64, error) {
+	v, err := p.constMul()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case p.accept(TokPunct, "+"):
+			r, err := p.constMul()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case p.accept(TokPunct, "-"):
+			r, err := p.constMul()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *Parser) constMul() (int64, error) {
+	v, err := p.constAtom()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case p.accept(TokPunct, "*"):
+			r, err := p.constAtom()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case p.accept(TokPunct, "/"):
+			r, err := p.constAtom()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, errf(p.curPos(), "constant division by zero")
+			}
+			v /= r
+		case p.accept(TokPunct, "%"):
+			r, err := p.constAtom()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, errf(p.curPos(), "constant modulo by zero")
+			}
+			v %= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *Parser) constAtom() (int64, error) {
+	pos := p.curPos()
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		return t.Int, nil
+	case t.Kind == TokIdent:
+		if v, ok := p.consts[t.Text]; ok {
+			p.next()
+			return v, nil
+		}
+		return 0, errf(pos, "unknown constant %q", t.Text)
+	case p.accept(TokPunct, "("):
+		v, err := p.constExpr()
+		if err != nil {
+			return 0, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return 0, err
+		}
+		return v, nil
+	case p.accept(TokPunct, "-"):
+		v, err := p.constAtom()
+		return -v, err
+	default:
+		return 0, errf(pos, "expected constant expression, found %q", t.String())
+	}
+}
+
+// funcDecl: func name ( params ) [type] { body }
+func (p *Parser) funcDecl() (*FuncDecl, error) {
+	pos := p.curPos()
+	p.next() // func
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Pos: pos, Name: name.Text, Ret: VoidType}
+	for !p.is(TokPunct, ")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(TokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Name: pn.Text, Type: pt})
+	}
+	p.next() // )
+	if !p.is(TokPunct, "{") {
+		fn.Ret, err = p.parseType()
+		if err != nil {
+			return nil, err
+		}
+	}
+	fn.Body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+func (p *Parser) block() (*Block, error) {
+	pos := p.curPos()
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: pos}
+	for !p.is(TokPunct, "}") {
+		if p.is(TokEOF, "") {
+			return nil, errf(pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	pos := p.curPos()
+	switch {
+	case p.is(TokKeyword, "var"):
+		s, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.is(TokKeyword, "if"):
+		return p.ifStmt()
+	case p.is(TokKeyword, "while"):
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Pos: pos, Cond: cond, Body: body}, nil
+	case p.is(TokKeyword, "for"):
+		return p.forStmt()
+	case p.is(TokKeyword, "return"):
+		p.next()
+		r := &Return{Pos: pos}
+		if !p.is(TokPunct, ";") {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.Val = v
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case p.accept(TokKeyword, "break"):
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Break{Pos: pos}, nil
+	case p.accept(TokKeyword, "continue"):
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Continue{Pos: pos}, nil
+	case p.is(TokPunct, "{"):
+		return p.block()
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// varDecl (without trailing semicolon): var name [N] type [= expr]
+func (p *Parser) varDecl() (*VarDecl, error) {
+	pos := p.curPos()
+	p.next() // var
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Pos: pos, Name: name.Text, ArrayLen: -1}
+	if p.accept(TokPunct, "[") {
+		n, err := p.constExpr()
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, errf(pos, "array length must be positive")
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		d.ArrayLen = n
+	}
+	d.Type, err = p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokPunct, "=") {
+		if d.ArrayLen >= 0 {
+			return nil, errf(pos, "array declarations cannot have initializers")
+		}
+		d.Init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// simpleStmt: assignment or expression statement.
+func (p *Parser) simpleStmt() (Stmt, error) {
+	pos := p.curPos()
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokPunct, "=") {
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Pos: pos, LHS: lhs, RHS: rhs}, nil
+	}
+	return &ExprStmt{Pos: pos, X: lhs}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	pos := p.curPos()
+	p.next() // if
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &If{Pos: pos, Cond: cond, Then: then}
+	if p.accept(TokKeyword, "else") {
+		if p.is(TokKeyword, "if") {
+			elif, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = &Block{Pos: pos, Stmts: []Stmt{elif}}
+		} else {
+			s.Else, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// forStmt: for [init]; [cond]; [post] { body }
+func (p *Parser) forStmt() (Stmt, error) {
+	pos := p.curPos()
+	p.next() // for
+	f := &For{Pos: pos}
+	var err error
+	if !p.is(TokPunct, ";") {
+		if p.is(TokKeyword, "var") {
+			f.Init, err = p.varDecl()
+		} else {
+			f.Init, err = p.simpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.is(TokPunct, ";") {
+		f.Cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.is(TokPunct, "{") {
+		f.Post, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	f.Body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3, "^": 3,
+	"&":  4,
+	"==": 5, "!=": 5,
+	"<": 6, "<=": 6, ">": 6, ">=": 6,
+	"<<": 7, ">>": 7,
+	"+": 8, "-": 8,
+	"*": 9, "/": 9, "%": 9,
+}
+
+func (p *Parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *Parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		pos := p.curPos()
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos: pos, Op: t.Text, L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	pos := p.curPos()
+	switch {
+	case p.accept(TokPunct, "-"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: pos, Op: "-", X: x}, nil
+	case p.accept(TokPunct, "!"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: pos, Op: "!", X: x}, nil
+	case p.accept(TokPunct, "&"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: pos, Op: "&", X: x}, nil
+	case p.accept(TokPunct, "*"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: pos, Op: "*", X: x}, nil
+	default:
+		return p.postfix()
+	}
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pos := p.curPos()
+		if p.accept(TokPunct, "[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &Index{Pos: pos, Base: x, Idx: idx}
+			continue
+		}
+		return x, nil
+	}
+}
+
+func (p *Parser) primary() (Expr, error) {
+	pos := p.curPos()
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		return &IntLit{Pos: pos, Val: t.Int}, nil
+	case t.Kind == TokFloat:
+		p.next()
+		return &FloatLit{Pos: pos, Val: t.Float}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &StrLit{Pos: pos, Val: t.Str}, nil
+	case t.Kind == TokKeyword && (t.Text == "int" || t.Text == "float"):
+		// Cast: int(expr) or float(expr).
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		to := IntType
+		if t.Text == "float" {
+			to = FloatType
+		}
+		return &Cast{Pos: pos, To: to, X: x}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if v, ok := p.consts[t.Text]; ok {
+			return &IntLit{Pos: pos, Val: v}, nil
+		}
+		if p.accept(TokPunct, "(") {
+			c := &Call{Pos: pos, Name: t.Text}
+			for !p.is(TokPunct, ")") {
+				if len(c.Args) > 0 {
+					if _, err := p.expect(TokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, a)
+			}
+			p.next() // )
+			return c, nil
+		}
+		return &Ident{Pos: pos, Name: t.Text}, nil
+	case p.accept(TokPunct, "("):
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, errf(pos, "expected expression, found %q", t.String())
+	}
+}

@@ -1,0 +1,76 @@
+// Package lang implements DapC, the small C-like language the benchmark
+// workloads are written in. DapC plays the role of the paper's C sources
+// compiled through the modified LLVM toolchain: one front end, one shared
+// IR, and two backends that insert equivalence points and emit stack maps.
+//
+// The language is deliberately small but complete enough for the paper's
+// workloads: 64-bit ints and floats, fixed-size arrays (stack allocations —
+// the shuffling candidates), pointers (whose stack references the rewriter
+// must remap), functions, threads, and the runtime builtins that map to the
+// simulated kernel's syscalls.
+package lang
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota + 1
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokPunct   // operators and delimiters
+	TokKeyword // reserved words
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	// Int and Float carry parsed literal values.
+	Int   int64
+	Float float64
+	Str   string // decoded string literal
+	Line  int
+	Col   int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "EOF"
+	case TokString:
+		return fmt.Sprintf("%q", t.Str)
+	default:
+		return t.Text
+	}
+}
+
+// Pos is a source position for error reporting.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a positioned front-end error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("dapc: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+var keywords = map[string]bool{
+	"var": true, "func": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "break": true, "continue": true,
+	"int": true, "float": true, "const": true,
+}

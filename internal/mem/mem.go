@@ -1,0 +1,360 @@
+// Package mem implements the simulated virtual address space shared by the
+// kernel, the interpreters, and the CRIU layer.
+//
+// An AddressSpace is a set of VMAs (virtual memory areas) backed by 4 KiB
+// pages that are populated on demand. Pages can also be populated by a
+// fault handler, which is how post-copy ("lazy") migration retrieves
+// missing pages from the source node's page server. The CRIU dumper walks
+// VMAs and populated pages to produce the pagemap/pages images, exactly
+// mirroring the structure of CRIU's memory dump.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/dapper-sim/dapper/internal/isa"
+)
+
+// PageSize is the size of a simulated page.
+const PageSize = isa.PageSize
+
+// VMAKind classifies a virtual memory area.
+type VMAKind uint8
+
+// VMA kinds.
+const (
+	VMAText VMAKind = iota + 1
+	VMAData
+	VMAHeap
+	VMAStack
+	VMATLS
+)
+
+func (k VMAKind) String() string {
+	switch k {
+	case VMAText:
+		return "text"
+	case VMAData:
+		return "data"
+	case VMAHeap:
+		return "heap"
+	case VMAStack:
+		return "stack"
+	case VMATLS:
+		return "tls"
+	default:
+		return fmt.Sprintf("VMAKind(%d)", uint8(k))
+	}
+}
+
+// Prot bits for a VMA.
+const (
+	ProtRead  = 1 << 0
+	ProtWrite = 1 << 1
+	ProtExec  = 1 << 2
+)
+
+// VMA describes one mapped region. Start and End are page-aligned;
+// End is exclusive.
+type VMA struct {
+	Start uint64
+	End   uint64
+	Kind  VMAKind
+	Prot  uint8
+	// TID associates stack and TLS areas with their thread.
+	TID int
+}
+
+// Contains reports whether addr falls inside the area.
+func (v VMA) Contains(addr uint64) bool { return addr >= v.Start && addr < v.End }
+
+// FaultError reports an access outside any VMA (or a failed lazy fetch).
+type FaultError struct {
+	Addr  uint64
+	Write bool
+	Cause error
+}
+
+func (e *FaultError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	if e.Cause != nil {
+		return fmt.Sprintf("mem: page fault on %s at 0x%x: %v", op, e.Addr, e.Cause)
+	}
+	return fmt.Sprintf("mem: segmentation fault on %s at 0x%x", op, e.Addr)
+}
+
+func (e *FaultError) Unwrap() error { return e.Cause }
+
+// Page is one populated page and its write version (used by the
+// interpreters to invalidate decoded-instruction caches when code pages are
+// rewritten).
+type Page struct {
+	Data    [PageSize]byte
+	Version uint64
+}
+
+// FaultHandler populates a missing page on first access. It returns the
+// page contents (PageSize bytes) or an error. A nil handler means missing
+// pages are demand-zero.
+type FaultHandler func(pageAddr uint64) ([]byte, error)
+
+// AddressSpace is a simulated virtual address space.
+type AddressSpace struct {
+	vmas  []VMA // sorted by Start
+	pages map[uint64]*Page
+
+	// lastIdx/lastPage cache the most recently touched page, which makes
+	// the interpreter's sequential access patterns cheap.
+	lastIdx  uint64
+	lastPage *Page
+
+	fault FaultHandler
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{pages: make(map[uint64]*Page)}
+}
+
+// SetFaultHandler installs a lazy-page handler; pass nil to restore
+// demand-zero behaviour.
+func (as *AddressSpace) SetFaultHandler(h FaultHandler) {
+	as.fault = h
+}
+
+// Map adds a VMA. It returns an error if the range is empty, unaligned, or
+// overlaps an existing area.
+func (as *AddressSpace) Map(v VMA) error {
+	if v.Start >= v.End || v.Start%PageSize != 0 || v.End%PageSize != 0 {
+		return fmt.Errorf("mem: bad VMA [0x%x, 0x%x)", v.Start, v.End)
+	}
+	for _, old := range as.vmas {
+		if v.Start < old.End && old.Start < v.End {
+			return fmt.Errorf("mem: VMA [0x%x, 0x%x) overlaps [0x%x, 0x%x)", v.Start, v.End, old.Start, old.End)
+		}
+	}
+	as.vmas = append(as.vmas, v)
+	sort.Slice(as.vmas, func(i, j int) bool { return as.vmas[i].Start < as.vmas[j].Start })
+	return nil
+}
+
+// Resize grows or shrinks the VMA whose start matches start (used by sbrk).
+func (as *AddressSpace) Resize(start, newEnd uint64) error {
+	for i := range as.vmas {
+		if as.vmas[i].Start == start {
+			if newEnd <= start || newEnd%PageSize != 0 {
+				return fmt.Errorf("mem: bad resize of 0x%x to 0x%x", start, newEnd)
+			}
+			if i+1 < len(as.vmas) && newEnd > as.vmas[i+1].Start {
+				return fmt.Errorf("mem: resize of 0x%x to 0x%x overlaps next VMA", start, newEnd)
+			}
+			as.vmas[i].End = newEnd
+			return nil
+		}
+	}
+	return fmt.Errorf("mem: no VMA starts at 0x%x", start)
+}
+
+// VMAs returns a copy of the area list, sorted by start address.
+func (as *AddressSpace) VMAs() []VMA {
+	out := make([]VMA, len(as.vmas))
+	copy(out, as.vmas)
+	return out
+}
+
+// FindVMA returns the area containing addr.
+func (as *AddressSpace) FindVMA(addr uint64) (VMA, bool) {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End > addr })
+	if i < len(as.vmas) && as.vmas[i].Contains(addr) {
+		return as.vmas[i], true
+	}
+	return VMA{}, false
+}
+
+func (as *AddressSpace) mapped(addr uint64) bool {
+	_, ok := as.FindVMA(addr)
+	return ok
+}
+
+// page returns the page containing addr, populating it on demand. addr
+// must already be known to be mapped.
+func (as *AddressSpace) page(addr uint64) (*Page, error) {
+	idx := addr / PageSize
+	if as.lastPage != nil && as.lastIdx == idx {
+		return as.lastPage, nil
+	}
+	p, ok := as.pages[idx]
+	if !ok {
+		p = &Page{}
+		if as.fault != nil {
+			data, err := as.fault(idx * PageSize)
+			if err != nil {
+				return nil, &FaultError{Addr: addr, Cause: err}
+			}
+			if data != nil {
+				copy(p.Data[:], data)
+			}
+		}
+		as.pages[idx] = p
+	}
+	as.lastIdx, as.lastPage = idx, p
+	return p, nil
+}
+
+// ReadU64 reads an 8-byte little-endian word.
+func (as *AddressSpace) ReadU64(addr uint64) (uint64, error) {
+	if !as.mapped(addr) || !as.mapped(addr+7) {
+		return 0, &FaultError{Addr: addr}
+	}
+	if addr%PageSize <= PageSize-8 {
+		p, err := as.page(addr)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(p.Data[addr%PageSize:]), nil
+	}
+	var buf [8]byte
+	if err := as.ReadBytes(addr, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// WriteU64 writes an 8-byte little-endian word.
+func (as *AddressSpace) WriteU64(addr, v uint64) error {
+	if !as.mapped(addr) || !as.mapped(addr+7) {
+		return &FaultError{Addr: addr, Write: true}
+	}
+	if addr%PageSize <= PageSize-8 {
+		p, err := as.page(addr)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(p.Data[addr%PageSize:], v)
+		p.Version++
+		return nil
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return as.WriteBytes(addr, buf[:])
+}
+
+// ReadBytes fills p from memory starting at addr.
+func (as *AddressSpace) ReadBytes(addr uint64, p []byte) error {
+	for len(p) > 0 {
+		if !as.mapped(addr) {
+			return &FaultError{Addr: addr}
+		}
+		pg, err := as.page(addr)
+		if err != nil {
+			return err
+		}
+		off := addr % PageSize
+		n := copy(p, pg.Data[off:])
+		// Clamp to the VMA end so we fault precisely at unmapped bytes.
+		addr += uint64(n)
+		p = p[n:]
+	}
+	return nil
+}
+
+// ReadAvail reads up to len(p) bytes, stopping at the first unmapped
+// address, and returns the number of bytes read. Used by the interpreter to
+// fetch instruction bytes near the end of the text area.
+func (as *AddressSpace) ReadAvail(addr uint64, p []byte) int {
+	read := 0
+	for len(p) > 0 {
+		if !as.mapped(addr) {
+			return read
+		}
+		pg, err := as.page(addr)
+		if err != nil {
+			return read
+		}
+		off := addr % PageSize
+		n := copy(p, pg.Data[off:])
+		addr += uint64(n)
+		p = p[n:]
+		read += n
+	}
+	return read
+}
+
+// WriteBytes copies p into memory starting at addr.
+func (as *AddressSpace) WriteBytes(addr uint64, p []byte) error {
+	for len(p) > 0 {
+		if !as.mapped(addr) {
+			return &FaultError{Addr: addr, Write: true}
+		}
+		pg, err := as.page(addr)
+		if err != nil {
+			return err
+		}
+		off := addr % PageSize
+		n := copy(pg.Data[off:], p)
+		pg.Version++
+		addr += uint64(n)
+		p = p[n:]
+	}
+	return nil
+}
+
+// CodePage returns the page with index idx for instruction fetch, along
+// with its write version. The page must be inside a mapped VMA.
+func (as *AddressSpace) CodePage(idx uint64) (*Page, error) {
+	addr := idx * PageSize
+	if !as.mapped(addr) {
+		return nil, &FaultError{Addr: addr}
+	}
+	return as.page(addr)
+}
+
+// PopulatedPages returns the sorted indices of pages that are resident.
+func (as *AddressSpace) PopulatedPages() []uint64 {
+	out := make([]uint64, 0, len(as.pages))
+	for idx := range as.pages {
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PageData returns the contents of page idx if it is resident.
+func (as *AddressSpace) PageData(idx uint64) ([]byte, bool) {
+	p, ok := as.pages[idx]
+	if !ok {
+		return nil, false
+	}
+	return p.Data[:], true
+}
+
+// DropPage discards a resident page (used when converting a dump to a lazy
+// one: the page stays on the source and is fetched on fault).
+func (as *AddressSpace) DropPage(idx uint64) {
+	delete(as.pages, idx)
+	if as.lastIdx == idx {
+		as.lastPage = nil
+	}
+}
+
+// InstallPage populates page idx with data without going through the fault
+// handler (used by restore).
+func (as *AddressSpace) InstallPage(idx uint64, data []byte) {
+	p := &Page{}
+	copy(p.Data[:], data)
+	p.Version = 1
+	as.pages[idx] = p
+	if as.lastIdx == idx {
+		as.lastPage = p
+	}
+}
+
+// ResidentBytes returns the number of bytes in populated pages.
+func (as *AddressSpace) ResidentBytes() uint64 {
+	return uint64(len(as.pages)) * PageSize
+}

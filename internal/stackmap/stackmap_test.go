@@ -1,0 +1,103 @@
+package stackmap_test
+
+import (
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/stackmap"
+)
+
+func sample() *stackmap.Metadata {
+	m := &stackmap.Metadata{
+		Funcs: []*stackmap.Func{
+			{
+				Name: "beta", Addr: 0x400100, Size: 0x100, NumParams: 1,
+				Slots: []stackmap.Slot{
+					{ID: 0, Name: "a", Kind: stackmap.SlotParam, Size: 8, Off: [2]int64{8, 24}},
+					{ID: 1, Name: "buf", Kind: stackmap.SlotArray, Size: 32, Off: [2]int64{40, 16 + 32}},
+				},
+				EntrySite: &stackmap.Site{
+					ID: 2, Func: "beta", Kind: stackmap.SiteEntry,
+					PCs: [2]stackmap.SitePCs{{TrapPC: 0x400110, ResumePC: 0x400100}, {TrapPC: 0x400120, ResumePC: 0x400104}},
+				},
+				CallSites: []*stackmap.Site{{
+					ID: 3, Func: "beta", Kind: stackmap.SiteCall,
+					PCs: [2]stackmap.SitePCs{{RetAddr: 0x400150}, {RetAddr: 0x400154}},
+				}},
+			},
+			{
+				Name: "alpha", Addr: 0x400000, Size: 0x100,
+				EntrySite: &stackmap.Site{
+					ID: 1, Func: "alpha", Kind: stackmap.SiteEntry,
+					PCs: [2]stackmap.SitePCs{{TrapPC: 0x400010}, {TrapPC: 0x400014}},
+				},
+			},
+		},
+	}
+	m.Index()
+	return m
+}
+
+func TestLookups(t *testing.T) {
+	m := sample()
+	// Index sorts by address.
+	if m.Funcs[0].Name != "alpha" {
+		t.Errorf("funcs not sorted: %s first", m.Funcs[0].Name)
+	}
+	if f, ok := m.FuncByName("beta"); !ok || f.Addr != 0x400100 {
+		t.Error("FuncByName failed")
+	}
+	if _, ok := m.FuncByName("nope"); ok {
+		t.Error("phantom function found")
+	}
+	for _, tc := range []struct {
+		pc   uint64
+		want string
+		ok   bool
+	}{
+		{0x400000, "alpha", true},
+		{0x4000ff, "alpha", true},
+		{0x400100, "beta", true},
+		{0x4001ff, "beta", true},
+		{0x400200, "", false},
+		{0x3fffff, "", false},
+	} {
+		f, ok := m.FuncByPC(tc.pc)
+		if ok != tc.ok || (ok && f.Name != tc.want) {
+			t.Errorf("FuncByPC(0x%x) = %v, %v", tc.pc, f, ok)
+		}
+	}
+	if s, ok := m.SiteByTrapPC(isa.SX86, 0x400110); !ok || s.ID != 2 {
+		t.Error("SiteByTrapPC sx86 failed")
+	}
+	if s, ok := m.SiteByTrapPC(isa.SARM, 0x400120); !ok || s.ID != 2 {
+		t.Error("SiteByTrapPC sarm failed")
+	}
+	if _, ok := m.SiteByTrapPC(isa.SX86, 0x400120); ok {
+		t.Error("sarm trap PC resolved under sx86")
+	}
+	if s, ok := m.SiteByRetAddr(isa.SARM, 0x400154); !ok || s.ID != 3 {
+		t.Error("SiteByRetAddr failed")
+	}
+	f, _ := m.FuncByName("beta")
+	if s, ok := f.SlotByID(1); !ok || s.Name != "buf" {
+		t.Error("SlotByID failed")
+	}
+	if _, ok := f.SlotByID(9); ok {
+		t.Error("phantom slot found")
+	}
+}
+
+func TestArchIdxAndLocationString(t *testing.T) {
+	if stackmap.ArchIdx(isa.SX86) != 0 || stackmap.ArchIdx(isa.SARM) != 1 {
+		t.Error("ArchIdx mapping changed")
+	}
+	reg := stackmap.Location{InReg: true, DwarfReg: 19}
+	if reg.String() != "reg(dwarf 19)" {
+		t.Errorf("reg location = %q", reg.String())
+	}
+	frame := stackmap.Location{FrameOff: 24}
+	if frame.String() != "frame(fp-24)" {
+		t.Errorf("frame location = %q", frame.String())
+	}
+}

@@ -1,0 +1,80 @@
+package vm_test
+
+import (
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/asm"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/isa/sx86"
+	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/vm"
+)
+
+// TestInstructionStraddlesPageBoundary places a 10-byte MOVri so it spans
+// two pages; the variable-length fetch path must decode it correctly.
+func TestInstructionStraddlesPageBoundary(t *testing.T) {
+	coder := sx86.Coder{}
+	f := asm.New(coder)
+	// Pad with NOPs so the MOVri starts 5 bytes before the page boundary.
+	movSize := coder.Size(isa.Inst{Op: isa.OpMovImm, Rd: 1})
+	pad := int(mem.PageSize) - 5
+	for i := 0; i < pad; i++ {
+		f.Emit(isa.Inst{Op: isa.OpNop})
+	}
+	f.Emit(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 0x1122334455667788})
+	f.Emit(isa.Inst{Op: isa.OpTrap})
+	if f.Size() != pad+movSize+1 {
+		t.Fatalf("layout miscalculated: %d", f.Size())
+	}
+	code, _, err := f.Assemble(isa.TextBase, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddressSpace()
+	if err := as.Map(mem.VMA{Start: isa.TextBase, End: isa.TextBase + 2*mem.PageSize, Kind: mem.VMAText}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteBytes(isa.TextBase, code); err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(isa.ABISX86, coder, as)
+	r := &isa.RegFile{PC: isa.TextBase}
+	stop, err := m.Run(r, pad+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Kind != vm.StopTrap {
+		t.Fatalf("stop = %v", stop.Kind)
+	}
+	if r.R[1] != 0x1122334455667788 {
+		t.Errorf("straddling MOVri loaded %x", r.R[1])
+	}
+}
+
+// TestFetchBeyondTextFaults: running off the end of the text area is a
+// clean fault, not a panic.
+func TestFetchBeyondTextFaults(t *testing.T) {
+	coder := sx86.Coder{}
+	f := asm.New(coder)
+	f.Emit(isa.Inst{Op: isa.OpNop})
+	code, _, err := f.Assemble(isa.TextBase, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddressSpace()
+	if err := as.Map(mem.VMA{Start: isa.TextBase, End: isa.TextBase + mem.PageSize, Kind: mem.VMAText}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteBytes(isa.TextBase, code); err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(isa.ABISX86, coder, as)
+	r := &isa.RegFile{PC: isa.TextBase + mem.PageSize - 1} // last byte: zero = illegal
+	if _, err := m.Run(r, 10); err == nil {
+		t.Error("fetch at text edge did not fault")
+	}
+	r2 := &isa.RegFile{PC: isa.TextBase + 4*mem.PageSize} // unmapped
+	if _, err := m.Run(r2, 10); err == nil {
+		t.Error("fetch of unmapped page did not fault")
+	}
+}

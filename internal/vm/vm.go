@@ -1,0 +1,316 @@
+// Package vm implements the interpreter that executes both simulated ISAs.
+//
+// A Machine executes architecture-independent semantic instructions
+// (isa.Inst) produced by the per-architecture decoders. The ABI supplies
+// the few genuinely architecture-dependent behaviours: where CALL puts the
+// return address (stack vs link register) and which register is the stack
+// pointer. Decoded instructions are cached per code page and invalidated by
+// the page write version, so process rewrites that swap code pages (the
+// DAPPER cross-ISA transform and the stack-shuffling SBI) take effect on
+// the next fetch.
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/mem"
+)
+
+// StopKind says why Run returned.
+type StopKind uint8
+
+// Stop reasons.
+const (
+	// StopQuantum: the step budget was exhausted; the thread is still
+	// runnable.
+	StopQuantum StopKind = iota + 1
+	// StopSyscall: a SYSCALL instruction executed. PC has been advanced
+	// past it; the kernel performs the call and writes the result register.
+	StopSyscall
+	// StopTrap: a TRAP instruction was fetched. PC still points at it.
+	StopTrap
+)
+
+// Stop describes why execution paused.
+type Stop struct {
+	Kind   StopKind
+	Cycles uint64 // cycles consumed during this Run
+}
+
+// ExecError wraps a fault raised by an instruction.
+type ExecError struct {
+	PC   uint64
+	Why  string
+	Err  error
+	Inst isa.Inst
+}
+
+func (e *ExecError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("vm: at 0x%x (%v): %v", e.PC, e.Inst, e.Err)
+	}
+	return fmt.Sprintf("vm: at 0x%x (%v): %s", e.PC, e.Inst, e.Why)
+}
+
+func (e *ExecError) Unwrap() error { return e.Err }
+
+type decodedPage struct {
+	version uint64
+	insts   map[uint16]isa.Inst
+}
+
+// Machine interprets one address space with one ISA. It holds no thread
+// state; register files are passed to Run, so a single Machine executes all
+// threads of a process.
+type Machine struct {
+	ABI   *isa.ABI
+	Coder isa.Coder
+	AS    *mem.AddressSpace
+
+	cache map[uint64]*decodedPage
+	// straddleBuf avoids allocating for instructions that cross a page
+	// boundary (possible only on the variable-length ISA).
+	straddleBuf [16]byte
+}
+
+// New returns a Machine executing code of the coder's architecture from as.
+func New(abi *isa.ABI, coder isa.Coder, as *mem.AddressSpace) *Machine {
+	return &Machine{ABI: abi, Coder: coder, AS: as, cache: make(map[uint64]*decodedPage)}
+}
+
+// InvalidateCode drops all cached decodes (cheap; used after explicit code
+// rewrites when version tracking is bypassed).
+func (m *Machine) InvalidateCode() {
+	m.cache = make(map[uint64]*decodedPage)
+}
+
+func (m *Machine) fetch(pc uint64) (isa.Inst, error) {
+	idx := pc / mem.PageSize
+	off := pc % mem.PageSize
+	page, err := m.AS.CodePage(idx)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	dp, ok := m.cache[idx]
+	if !ok || dp.version != page.Version {
+		dp = &decodedPage{version: page.Version, insts: make(map[uint16]isa.Inst)}
+		m.cache[idx] = dp
+	}
+	if inst, ok := dp.insts[uint16(off)]; ok {
+		return inst, nil
+	}
+	var inst isa.Inst
+	if off > mem.PageSize-16 {
+		// The instruction may straddle the page boundary.
+		n := m.AS.ReadAvail(pc, m.straddleBuf[:])
+		inst, err = m.Coder.Decode(m.straddleBuf[:n], pc)
+	} else {
+		inst, err = m.Coder.Decode(page.Data[off:], pc)
+	}
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	dp.insts[uint16(off)] = inst
+	return inst, nil
+}
+
+// Run executes up to maxSteps instructions starting from r's PC, mutating r
+// in place. It returns on syscalls, traps, quantum expiry, or a fault.
+func (m *Machine) Run(r *isa.RegFile, maxSteps int) (Stop, error) {
+	abi := m.ABI
+	var cycles uint64
+	for step := 0; step < maxSteps; step++ {
+		inst, err := m.fetch(r.PC)
+		if err != nil {
+			return Stop{Cycles: cycles}, err
+		}
+		if inst.Op == isa.OpTrap {
+			return Stop{Kind: StopTrap, Cycles: cycles}, nil
+		}
+		cycles += inst.Cycles()
+		next := r.PC + uint64(inst.Len)
+		switch inst.Op {
+		case isa.OpNop:
+		case isa.OpSyscall:
+			r.PC = next
+			return Stop{Kind: StopSyscall, Cycles: cycles}, nil
+		case isa.OpMovImm:
+			r.R[inst.Rd] = uint64(inst.Imm)
+		case isa.OpMovZ:
+			r.R[inst.Rd] = uint64(inst.Imm) << (16 * inst.Sh)
+		case isa.OpMovK:
+			mask := uint64(0xffff) << (16 * inst.Sh)
+			r.R[inst.Rd] = r.R[inst.Rd]&^mask | uint64(inst.Imm)<<(16*inst.Sh)
+		case isa.OpMov:
+			r.R[inst.Rd] = r.R[inst.Rn]
+		case isa.OpLoad:
+			v, err := m.AS.ReadU64(r.R[inst.Rn] + uint64(inst.Imm))
+			if err != nil {
+				return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Err: err}
+			}
+			r.R[inst.Rd] = v
+		case isa.OpStore:
+			if err := m.AS.WriteU64(r.R[inst.Rn]+uint64(inst.Imm), r.R[inst.Rd]); err != nil {
+				return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Err: err}
+			}
+		case isa.OpLoadPair:
+			base := r.R[inst.Rn] + uint64(inst.Imm)
+			v1, err := m.AS.ReadU64(base)
+			if err == nil {
+				var v2 uint64
+				v2, err = m.AS.ReadU64(base + 8)
+				if err == nil {
+					r.R[inst.Rd], r.R[inst.Rm] = v1, v2
+				}
+			}
+			if err != nil {
+				return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Err: err}
+			}
+		case isa.OpStorePair:
+			base := r.R[inst.Rn] + uint64(inst.Imm)
+			err := m.AS.WriteU64(base, r.R[inst.Rd])
+			if err == nil {
+				err = m.AS.WriteU64(base+8, r.R[inst.Rm])
+			}
+			if err != nil {
+				return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Err: err}
+			}
+		case isa.OpLea, isa.OpAddImm:
+			r.R[inst.Rd] = r.R[inst.Rn] + uint64(inst.Imm)
+		case isa.OpAdd:
+			r.R[inst.Rd] = r.R[inst.Rn] + r.R[inst.Rm]
+		case isa.OpSub:
+			r.R[inst.Rd] = r.R[inst.Rn] - r.R[inst.Rm]
+		case isa.OpMul:
+			r.R[inst.Rd] = uint64(int64(r.R[inst.Rn]) * int64(r.R[inst.Rm]))
+		case isa.OpDiv:
+			if r.R[inst.Rm] == 0 {
+				return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Why: "integer divide by zero"}
+			}
+			r.R[inst.Rd] = uint64(int64(r.R[inst.Rn]) / int64(r.R[inst.Rm]))
+		case isa.OpMod:
+			if r.R[inst.Rm] == 0 {
+				return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Why: "integer modulo by zero"}
+			}
+			r.R[inst.Rd] = uint64(int64(r.R[inst.Rn]) % int64(r.R[inst.Rm]))
+		case isa.OpAnd:
+			r.R[inst.Rd] = r.R[inst.Rn] & r.R[inst.Rm]
+		case isa.OpOr:
+			r.R[inst.Rd] = r.R[inst.Rn] | r.R[inst.Rm]
+		case isa.OpXor:
+			r.R[inst.Rd] = r.R[inst.Rn] ^ r.R[inst.Rm]
+		case isa.OpShl:
+			r.R[inst.Rd] = r.R[inst.Rn] << (r.R[inst.Rm] & 63)
+		case isa.OpShr:
+			r.R[inst.Rd] = r.R[inst.Rn] >> (r.R[inst.Rm] & 63)
+		case isa.OpFAdd:
+			r.R[inst.Rd] = f2b(b2f(r.R[inst.Rn]) + b2f(r.R[inst.Rm]))
+		case isa.OpFSub:
+			r.R[inst.Rd] = f2b(b2f(r.R[inst.Rn]) - b2f(r.R[inst.Rm]))
+		case isa.OpFMul:
+			r.R[inst.Rd] = f2b(b2f(r.R[inst.Rn]) * b2f(r.R[inst.Rm]))
+		case isa.OpFDiv:
+			r.R[inst.Rd] = f2b(b2f(r.R[inst.Rn]) / b2f(r.R[inst.Rm]))
+		case isa.OpItoF:
+			r.R[inst.Rd] = f2b(float64(int64(r.R[inst.Rn])))
+		case isa.OpFtoI:
+			r.R[inst.Rd] = uint64(int64(b2f(r.R[inst.Rn])))
+		case isa.OpCmpEq:
+			r.R[inst.Rd] = btoi(r.R[inst.Rn] == r.R[inst.Rm])
+		case isa.OpCmpNe:
+			r.R[inst.Rd] = btoi(r.R[inst.Rn] != r.R[inst.Rm])
+		case isa.OpCmpLt:
+			r.R[inst.Rd] = btoi(int64(r.R[inst.Rn]) < int64(r.R[inst.Rm]))
+		case isa.OpCmpLe:
+			r.R[inst.Rd] = btoi(int64(r.R[inst.Rn]) <= int64(r.R[inst.Rm]))
+		case isa.OpCmpGt:
+			r.R[inst.Rd] = btoi(int64(r.R[inst.Rn]) > int64(r.R[inst.Rm]))
+		case isa.OpCmpGe:
+			r.R[inst.Rd] = btoi(int64(r.R[inst.Rn]) >= int64(r.R[inst.Rm]))
+		case isa.OpFCmpEq:
+			r.R[inst.Rd] = btoi(b2f(r.R[inst.Rn]) == b2f(r.R[inst.Rm]))
+		case isa.OpFCmpLt:
+			r.R[inst.Rd] = btoi(b2f(r.R[inst.Rn]) < b2f(r.R[inst.Rm]))
+		case isa.OpFCmpLe:
+			r.R[inst.Rd] = btoi(b2f(r.R[inst.Rn]) <= b2f(r.R[inst.Rm]))
+		case isa.OpPush:
+			r.R[abi.SP] -= 8
+			if err := m.AS.WriteU64(r.R[abi.SP], r.R[inst.Rd]); err != nil {
+				return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Err: err}
+			}
+		case isa.OpPop:
+			v, err := m.AS.ReadU64(r.R[abi.SP])
+			if err != nil {
+				return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Err: err}
+			}
+			r.R[inst.Rd] = v
+			r.R[abi.SP] += 8
+		case isa.OpCall:
+			if abi.RetAddrOnStack {
+				r.R[abi.SP] -= 8
+				if err := m.AS.WriteU64(r.R[abi.SP], next); err != nil {
+					return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Err: err}
+				}
+			} else {
+				r.R[abi.LR] = next
+			}
+			r.PC = uint64(inst.Imm)
+			continue
+		case isa.OpRet:
+			if abi.RetAddrOnStack {
+				v, err := m.AS.ReadU64(r.R[abi.SP])
+				if err != nil {
+					return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Err: err}
+				}
+				r.R[abi.SP] += 8
+				r.PC = v
+			} else {
+				r.PC = r.R[abi.LR]
+			}
+			continue
+		case isa.OpJmp:
+			r.PC = uint64(inst.Imm)
+			continue
+		case isa.OpJz:
+			if r.R[inst.Rd] == 0 {
+				r.PC = uint64(inst.Imm)
+				continue
+			}
+		case isa.OpJnz:
+			if r.R[inst.Rd] != 0 {
+				r.PC = uint64(inst.Imm)
+				continue
+			}
+		case isa.OpTlsLoad:
+			v, err := m.AS.ReadU64(r.TLS + uint64(inst.Imm))
+			if err != nil {
+				return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Err: err}
+			}
+			r.R[inst.Rd] = v
+		case isa.OpTlsStore:
+			if err := m.AS.WriteU64(r.TLS+uint64(inst.Imm), r.R[inst.Rd]); err != nil {
+				return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Err: err}
+			}
+		case isa.OpMrs:
+			r.R[inst.Rd] = r.TLS
+		case isa.OpMsr:
+			r.TLS = r.R[inst.Rd]
+		default:
+			return Stop{Cycles: cycles}, &ExecError{PC: r.PC, Inst: inst, Why: "unimplemented operation"}
+		}
+		r.PC = next
+	}
+	return Stop{Kind: StopQuantum, Cycles: cycles}, nil
+}
+
+func b2f(b uint64) float64 { return math.Float64frombits(b) }
+func f2b(f float64) uint64 { return math.Float64bits(f) }
+
+func btoi(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,292 @@
+package workloads
+
+import "fmt"
+
+// linpackSource is a dense LU factorization with partial pivoting and a
+// triangular solve, the Linpack benchmark's core, on heap float matrices.
+func linpackSource(c Class) string {
+	n := pick(c, 24, 120, 220)
+	reps := pick(c, 2, 4, 6)
+	return fmt.Sprintf(`
+const N = %d;
+const REPS = %d;
+
+var state int;
+
+func nextRand() int {
+	state = (state * 1103515245 + 12345) & 0x7fffffff;
+	return state;
+}
+
+func fabs(x float) float {
+	if x < 0.0 { return 0.0 - x; }
+	return x;
+}
+
+func idx(i int, j int) int {
+	return i * N + j;
+}
+
+// pivotRow finds the row with the largest |a[i][k]| at or below k.
+func pivotRow(a *float, k int) int {
+	var p int;
+	var i int;
+	var best float;
+	p = k;
+	best = fabs(a[idx(k, k)]);
+	for i = k + 1; i < N; i = i + 1 {
+		if fabs(a[idx(i, k)]) > best {
+			best = fabs(a[idx(i, k)]);
+			p = i;
+		}
+	}
+	return p;
+}
+
+func swapRows(a *float, r1 int, r2 int) {
+	var j int;
+	var t float;
+	for j = 0; j < N; j = j + 1 {
+		t = a[idx(r1, j)];
+		a[idx(r1, j)] = a[idx(r2, j)];
+		a[idx(r2, j)] = t;
+	}
+}
+
+func eliminate(a *float, k int) {
+	var i int;
+	var j int;
+	var m float;
+	for i = k + 1; i < N; i = i + 1 {
+		m = a[idx(i, k)] / a[idx(k, k)];
+		a[idx(i, k)] = m;
+		for j = k + 1; j < N; j = j + 1 {
+			a[idx(i, j)] = a[idx(i, j)] - m * a[idx(k, j)];
+		}
+	}
+}
+
+func lu(a *float, piv *int) {
+	var k int;
+	var p int;
+	for k = 0; k < N - 1; k = k + 1 {
+		p = pivotRow(a, k);
+		piv[k] = p;
+		if p != k { swapRows(a, k, p); }
+		eliminate(a, k);
+	}
+}
+
+func solve(a *float, b *float, piv *int) {
+	var k int;
+	var i int;
+	var t float;
+	for k = 0; k < N - 1; k = k + 1 {
+		if piv[k] != k {
+			t = b[k];
+			b[k] = b[piv[k]];
+			b[piv[k]] = t;
+		}
+		for i = k + 1; i < N; i = i + 1 {
+			b[i] = b[i] - a[idx(i, k)] * b[k];
+		}
+	}
+	for k = N - 1; k >= 0; k = k - 1 {
+		for i = k + 1; i < N; i = i + 1 {
+			b[k] = b[k] - a[idx(k, i)] * b[i];
+		}
+		b[k] = b[k] / a[idx(k, k)];
+	}
+}
+
+func main() {
+	var a *float;
+	var b *float;
+	var piv *int;
+	var i int;
+	var rep int;
+	var sum float;
+	a = allocf(8 * N * N);
+	b = allocf(8 * N);
+	piv = alloc(8 * N);
+	state = 161803398;
+	sum = 0.0;
+	for rep = 0; rep < REPS; rep = rep + 1 {
+		for i = 0; i < N * N; i = i + 1 {
+			a[i] = float(nextRand() %% 1000) / 1000.0 + 0.001;
+		}
+		for i = 0; i < N; i = i + 1 {
+			a[idx(i, i)] = a[idx(i, i)] + float(N);
+			b[i] = 1.0;
+		}
+		lu(a, piv);
+		solve(a, b, piv);
+		for i = 0; i < N; i = i + 1 {
+			sum = sum + b[i];
+		}
+	}
+	print("linpack xsum ");
+	printf(sum);
+	print("\n");
+}
+`, n, reps)
+}
+
+// dhrystoneSource is a Dhrystone-like integer synthetic: record copies,
+// branch-heavy helpers, array indexing, and a character-ish word buffer.
+func dhrystoneSource(c Class) string {
+	loops := pick(c, 5000, 400000, 1500000)
+	return fmt.Sprintf(`
+const LOOPS = %d;
+
+var glob1[50] int;
+var glob2[50] int;
+var intGlob int;
+var boolGlob int;
+
+func proc7(a int, b int) int {
+	return a + 2 + b;
+}
+
+func proc8(base int, loc int) int {
+	var k int;
+	k = loc + 10;
+	glob1[(base + loc) %% 50] = k;
+	glob1[(base + loc + 1) %% 50] = glob1[(base + loc) %% 50];
+	glob2[(base + 20) %% 50] = k;
+	intGlob = 5;
+	return k;
+}
+
+func func2(p1 int, p2 int) int {
+	if p1 %% 3 == p2 %% 3 {
+		boolGlob = 1;
+		return 0;
+	}
+	return 1;
+}
+
+func proc1(v int) int {
+	var rec[8] int;
+	var i int;
+	rec[0] = v;
+	rec[1] = proc7(v, 10);
+	for i = 2; i < 8; i = i + 1 {
+		rec[i] = rec[i-1] + rec[i-2];
+	}
+	return rec[7];
+}
+
+func main() {
+	var run int;
+	var acc int;
+	var ch int;
+	for run = 0; run < LOOPS; run = run + 1 {
+		acc = acc + proc1(run %% 97);
+		acc = acc + proc8(run %% 13, run %% 7);
+		if func2(run, run + 3) == 1 {
+			ch = ch + 1;
+		}
+		acc = acc ^ (intGlob + boolGlob);
+	}
+	print("dhrystone acc ");
+	printi(acc);
+	print(" ch ");
+	printi(ch);
+	print("\n");
+}
+`, loops)
+}
+
+// kmeansSource is the paper's K-means clustering application: 2-D points,
+// squared-distance assignment, centroid update, fixed iterations.
+func kmeansSource(c Class) string {
+	points := pick(c, 300, 20000, 80000)
+	k := pick(c, 4, 8, 12)
+	iters := pick(c, 5, 15, 25)
+	return fmt.Sprintf(`
+const NPTS = %d;
+const K = %d;
+const ITERS = %d;
+
+var state int;
+
+func nextRand() int {
+	state = (state * 1103515245 + 12345) & 0x7fffffff;
+	return state;
+}
+
+func dist2(dx float, dy float) float {
+	return dx * dx + dy * dy;
+}
+
+// nearest returns the closest centroid index for point i.
+func nearest(pts *float, cents *float, i int) int {
+	var best int;
+	var bd float;
+	var d float;
+	var j int;
+	best = 0;
+	bd = dist2(pts[2*i] - cents[0], pts[2*i+1] - cents[1]);
+	for j = 1; j < K; j = j + 1 {
+		d = dist2(pts[2*i] - cents[2*j], pts[2*i+1] - cents[2*j+1]);
+		if d < bd {
+			bd = d;
+			best = j;
+		}
+	}
+	return best;
+}
+
+func main() {
+	var pts *float;
+	var cents *float;
+	var sums *float;
+	var counts *int;
+	var i int;
+	var it int;
+	var a int;
+	var inertia float;
+	pts = allocf(8 * 2 * NPTS);
+	cents = allocf(8 * 2 * K);
+	sums = allocf(8 * 2 * K);
+	counts = alloc(8 * K);
+	state = 123456789;
+	for i = 0; i < NPTS; i = i + 1 {
+		pts[2*i] = float(nextRand() %% 10000) / 100.0;
+		pts[2*i+1] = float(nextRand() %% 10000) / 100.0;
+	}
+	for i = 0; i < K; i = i + 1 {
+		cents[2*i] = pts[2*i];
+		cents[2*i+1] = pts[2*i+1];
+	}
+	for it = 0; it < ITERS; it = it + 1 {
+		for i = 0; i < K; i = i + 1 {
+			sums[2*i] = 0.0;
+			sums[2*i+1] = 0.0;
+			counts[i] = 0;
+		}
+		for i = 0; i < NPTS; i = i + 1 {
+			a = nearest(pts, cents, i);
+			sums[2*a] = sums[2*a] + pts[2*i];
+			sums[2*a+1] = sums[2*a+1] + pts[2*i+1];
+			counts[a] = counts[a] + 1;
+		}
+		for i = 0; i < K; i = i + 1 {
+			if counts[i] > 0 {
+				cents[2*i] = sums[2*i] / float(counts[i]);
+				cents[2*i+1] = sums[2*i+1] / float(counts[i]);
+			}
+		}
+	}
+	inertia = 0.0;
+	for i = 0; i < NPTS; i = i + 1 {
+		a = nearest(pts, cents, i);
+		inertia = inertia + dist2(pts[2*i] - cents[2*a], pts[2*i+1] - cents[2*a+1]);
+	}
+	print("kmeans inertia ");
+	printf(inertia);
+	print("\n");
+}
+`, points, k, iters)
+}

@@ -1,0 +1,340 @@
+package workloads
+
+import "fmt"
+
+// cgSource is a conjugate-gradient kernel in the spirit of NPB CG: it
+// solves A x = b for a symmetric positive-definite tridiagonal-plus-
+// diagonal system with float vectors on the heap, iterating dot products
+// and axpy updates (the helpers double as equivalence points).
+func cgSource(c Class) string {
+	n := pick(c, 64, 600, 1800)
+	iters := pick(c, 8, 25, 40)
+	return fmt.Sprintf(`
+const N = %d;
+const ITERS = %d;
+
+func dot(a *float, b *float) float {
+	var s float;
+	var i int;
+	for i = 0; i < N; i = i + 1 {
+		s = s + a[i] * b[i];
+	}
+	return s;
+}
+
+// matvec computes q = A p for A = tridiag(-1, 4, -1).
+func matvec(p *float, q *float) {
+	var i int;
+	q[0] = 4.0 * p[0] - p[1];
+	for i = 1; i < N - 1; i = i + 1 {
+		q[i] = 4.0 * p[i] - p[i-1] - p[i+1];
+	}
+	q[N-1] = 4.0 * p[N-1] - p[N-2];
+}
+
+func axpy(y *float, x *float, a float) {
+	var i int;
+	for i = 0; i < N; i = i + 1 {
+		y[i] = y[i] + a * x[i];
+	}
+}
+
+func scaleadd(p *float, r *float, beta float) {
+	var i int;
+	for i = 0; i < N; i = i + 1 {
+		p[i] = r[i] + beta * p[i];
+	}
+}
+
+func main() {
+	var x *float;
+	var r *float;
+	var p *float;
+	var q *float;
+	var i int;
+	var it int;
+	var rr float;
+	var rrNew float;
+	var alpha float;
+	x = allocf(8 * N);
+	r = allocf(8 * N);
+	p = allocf(8 * N);
+	q = allocf(8 * N);
+	for i = 0; i < N; i = i + 1 {
+		x[i] = 0.0;
+		r[i] = 1.0 + float(i %% 7) / 7.0;
+		p[i] = r[i];
+	}
+	rr = dot(r, r);
+	for it = 0; it < ITERS; it = it + 1 {
+		matvec(p, q);
+		alpha = rr / dot(p, q);
+		axpy(x, p, alpha);
+		axpy(r, q, 0.0 - alpha);
+		rrNew = dot(r, r);
+		scaleadd(p, r, rrNew / rr);
+		rr = rrNew;
+	}
+	print("cg residual ");
+	printf(rr);
+	print(" xsum ");
+	printf(dot(x, x));
+	print("\n");
+}
+`, n, iters)
+}
+
+// mgSource is a 1-D multigrid V-cycle in the spirit of NPB MG: smooth,
+// restrict, prolong over a hierarchy of grids.
+func mgSource(c Class) string {
+	levels := pick(c, 6, 10, 12) // finest grid 2^levels
+	cycles := pick(c, 3, 12, 20)
+	return fmt.Sprintf(`
+const LEVELS = %d;
+const CYCLES = %d;
+const NFINE = 1 << LEVELS;
+
+var grids[16] int;  // base offsets (in elements) per level
+var sizes[16] int;
+
+func smooth(u *float, f *float, n int) {
+	var i int;
+	for i = 1; i < n - 1; i = i + 1 {
+		u[i] = (u[i-1] + u[i+1] + f[i]) / 2.0;
+	}
+}
+
+func restrictg(fine *float, coarse *float, nc int) {
+	var i int;
+	for i = 1; i < nc - 1; i = i + 1 {
+		coarse[i] = (fine[2*i-1] + 2.0 * fine[2*i] + fine[2*i+1]) / 4.0;
+	}
+}
+
+func prolong(coarse *float, fine *float, nc int) {
+	var i int;
+	for i = 1; i < nc - 1; i = i + 1 {
+		fine[2*i] = fine[2*i] + coarse[i];
+		fine[2*i+1] = fine[2*i+1] + (coarse[i] + coarse[i+1]) / 2.0;
+	}
+}
+
+func norm(u *float, n int) float {
+	var s float;
+	var i int;
+	for i = 0; i < n; i = i + 1 {
+		s = s + u[i] * u[i];
+	}
+	return s;
+}
+
+func main() {
+	var u *float;
+	var f *float;
+	var lvl int;
+	var cyc int;
+	var off int;
+	var i int;
+	var n int;
+	// One arena holding all levels for both u and f.
+	off = 0;
+	for lvl = 0; lvl <= LEVELS; lvl = lvl + 1 {
+		grids[lvl] = off;
+		sizes[lvl] = NFINE >> lvl;
+		off = off + (NFINE >> lvl) + 2;
+	}
+	u = allocf(8 * off);
+	f = allocf(8 * off);
+	for i = 0; i < off; i = i + 1 {
+		u[i] = 0.0;
+		f[i] = 0.0;
+	}
+	n = sizes[0];
+	for i = 0; i < n; i = i + 1 {
+		f[grids[0] + i] = float((i * 37) %% 19) / 19.0;
+	}
+	for cyc = 0; cyc < CYCLES; cyc = cyc + 1 {
+		// Descend.
+		for lvl = 0; lvl < LEVELS - 1; lvl = lvl + 1 {
+			smooth(&u[grids[lvl]], &f[grids[lvl]], sizes[lvl]);
+			restrictg(&u[grids[lvl]], &u[grids[lvl+1]], sizes[lvl+1]);
+		}
+		// Ascend.
+		for lvl = LEVELS - 2; lvl >= 0; lvl = lvl - 1 {
+			prolong(&u[grids[lvl+1]], &u[grids[lvl]], sizes[lvl+1]);
+			smooth(&u[grids[lvl]], &f[grids[lvl]], sizes[lvl]);
+		}
+	}
+	print("mg norm ");
+	printf(norm(&u[grids[0]], sizes[0]));
+	print("\n");
+}
+`, levels, cycles)
+}
+
+// epSource is NPB EP's spirit: a long stream of LCG pseudorandoms binned
+// by magnitude, embarrassingly serial here (the NPB serial version).
+func epSource(c Class) string {
+	samples := pick(c, 20000, 2000000, 8000000)
+	return fmt.Sprintf(`
+const SAMPLES = %d;
+
+var bins[10] int;
+var state int;
+
+func nextRand() int {
+	state = (state * 1103515245 + 12345) & 0x7fffffff;
+	return state;
+}
+
+func binOf(v int) int {
+	return (v / 214748364) %% 10;
+}
+
+func main() {
+	var i int;
+	var v int;
+	var acc int;
+	state = 271828183;
+	for i = 0; i < SAMPLES; i = i + 1 {
+		v = nextRand();
+		bins[binOf(v)] = bins[binOf(v)] + 1;
+		acc = acc ^ v;
+	}
+	print("ep bins ");
+	for i = 0; i < 10; i = i + 1 {
+		printi(bins[i]);
+		print(" ");
+	}
+	printi(acc);
+	print("\n");
+}
+`, samples)
+}
+
+// ftSource substitutes NPB FT's complex FFT with a Walsh–Hadamard
+// transform of the same butterfly structure (DapC has no trigonometric
+// builtins; the data-movement and checkpoint-surface properties are
+// preserved — see DESIGN.md).
+func ftSource(c Class) string {
+	logn := pick(c, 8, 14, 16)
+	iters := pick(c, 4, 10, 16)
+	return fmt.Sprintf(`
+const LOGN = %d;
+const ITERS = %d;
+const N = 1 << LOGN;
+
+func butterfly(v *float, i int, j int) {
+	var a float;
+	var b float;
+	a = v[i];
+	b = v[j];
+	v[i] = a + b;
+	v[j] = a - b;
+}
+
+func wht(v *float) {
+	var len int;
+	var i int;
+	var j int;
+	len = 1;
+	while len < N {
+		i = 0;
+		while i < N {
+			for j = i; j < i + len; j = j + 1 {
+				butterfly(v, j, j + len);
+			}
+			i = i + 2 * len;
+		}
+		len = 2 * len;
+	}
+}
+
+func checksum(v *float) float {
+	var s float;
+	var i int;
+	for i = 0; i < N; i = i + 17 {
+		s = s + v[i];
+	}
+	return s;
+}
+
+func main() {
+	var v *float;
+	var i int;
+	var it int;
+	var scale float;
+	v = allocf(8 * N);
+	for i = 0; i < N; i = i + 1 {
+		v[i] = float((i * 131) %% 997) / 997.0;
+	}
+	scale = 1.0 / float(N);
+	for it = 0; it < ITERS; it = it + 1 {
+		wht(v);
+		// Inverse WHT is WHT scaled by 1/N; perturb between rounds.
+		wht(v);
+		for i = 0; i < N; i = i + 1 {
+			v[i] = v[i] * scale;
+		}
+		v[it %% N] = v[it %% N] + 1.0;
+	}
+	print("ft checksum ");
+	printf(checksum(v));
+	print("\n");
+}
+`, logn, iters)
+}
+
+// isSource is NPB IS: integer bucket (counting) sort of LCG keys.
+func isSource(c Class) string {
+	keys := pick(c, 4000, 400000, 1600000)
+	maxKey := pick(c, 1<<10, 1<<14, 1<<16)
+	return fmt.Sprintf(`
+const NKEYS = %d;
+const MAXKEY = %d;
+
+var state int;
+
+func nextRand() int {
+	state = (state * 1103515245 + 12345) & 0x7fffffff;
+	return state;
+}
+
+func countKey(counts *int, k int) {
+	counts[k] = counts[k] + 1;
+}
+
+func rankOf(counts *int, k int) int {
+	return counts[k];
+}
+
+func main() {
+	var keys *int;
+	var counts *int;
+	var i int;
+	var acc int;
+	keys = alloc(8 * NKEYS);
+	counts = alloc(8 * MAXKEY);
+	state = 314159265;
+	for i = 0; i < MAXKEY; i = i + 1 { counts[i] = 0; }
+	for i = 0; i < NKEYS; i = i + 1 {
+		keys[i] = nextRand() %% MAXKEY;
+	}
+	for i = 0; i < NKEYS; i = i + 1 {
+		countKey(counts, keys[i]);
+	}
+	// Prefix-sum the counts into ranks.
+	for i = 1; i < MAXKEY; i = i + 1 {
+		counts[i] = counts[i] + counts[i-1];
+	}
+	// Verification checksum over sampled ranks.
+	acc = 0;
+	for i = 0; i < NKEYS; i = i + 97 {
+		acc = acc + rankOf(counts, keys[i]);
+	}
+	print("is ranksum ");
+	printi(acc);
+	print("\n");
+}
+`, keys, maxKey)
+}

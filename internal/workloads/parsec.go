@@ -1,0 +1,283 @@
+package workloads
+
+import "fmt"
+
+// mathLib is a small numeric library in DapC shared by the PARSEC-style
+// workloads: Newton square root, exp via repeated squaring, and ln via
+// Newton on exp — standing in for libm, which the guest has no access to.
+const mathLib = `
+func msqrt(x float) float {
+	var y float;
+	var i int;
+	if x <= 0.0 { return 0.0; }
+	y = x;
+	if y > 1.0 { y = y / 2.0; }
+	for i = 0; i < 12; i = i + 1 {
+		y = (y + x / y) / 2.0;
+	}
+	return y;
+}
+
+func mexp(x float) float {
+	var y float;
+	var i int;
+	y = 1.0 + x / 1024.0;
+	for i = 0; i < 10; i = i + 1 {
+		y = y * y;
+	}
+	return y;
+}
+
+func mln(x float) float {
+	var y float;
+	var i int;
+	if x <= 0.0 { return 0.0 - 700.0; }
+	y = 0.0;
+	for i = 0; i < 16; i = i + 1 {
+		y = y + x / mexp(y) - 1.0;
+	}
+	return y;
+}
+
+// mcndf is the cumulative normal distribution (Abramowitz-Stegun 26.2.17).
+func mcndf(x float) float {
+	var ax float;
+	var k float;
+	var w float;
+	ax = x;
+	if ax < 0.0 { ax = 0.0 - ax; }
+	k = 1.0 / (1.0 + 0.2316419 * ax);
+	w = ((((1.330274429 * k - 1.821255978) * k + 1.781477937) * k - 0.356563782) * k + 0.319381530) * k;
+	w = 1.0 - 0.39894228 * mexp(0.0 - ax * ax / 2.0) * w;
+	if x < 0.0 { return 1.0 - w; }
+	return w;
+}
+`
+
+// blackscholesSource prices a portfolio of European options with the
+// Black-Scholes closed form across worker threads, PARSEC's blackscholes.
+func blackscholesSource(c Class) string {
+	options := pick(c, 64, 20000, 60000)
+	threads := 4
+	return fmt.Sprintf(`
+const NOPT = %d;
+const NTHREADS = %d;
+
+var state int;
+var spot *float;
+var strike *float;
+var rate *float;
+var vol *float;
+var tte *float;
+var prices *float;
+var tids[8] int;
+
+func nextRand() int {
+	state = (state * 1103515245 + 12345) & 0x7fffffff;
+	return state;
+}
+%s
+// priceOne prices option i (call).
+func priceOne(i int) float {
+	var d1 float;
+	var d2 float;
+	var sq float;
+	var logsk float;
+	var drift float;
+	var disc float;
+	sq = vol[i] * msqrt(tte[i]);
+	logsk = mln(spot[i] / strike[i]);
+	drift = (rate[i] + vol[i] * vol[i] / 2.0) * tte[i];
+	d1 = (logsk + drift) / sq;
+	d2 = d1 - sq;
+	disc = mexp(0.0 - rate[i] * tte[i]);
+	return spot[i] * mcndf(d1) - strike[i] * disc * mcndf(d2);
+}
+
+func worker(id int) {
+	var i int;
+	for i = id; i < NOPT; i = i + NTHREADS {
+		prices[i] = priceOne(i);
+	}
+}
+
+func main() {
+	var i int;
+	var sum float;
+	spot = allocf(8 * NOPT);
+	strike = allocf(8 * NOPT);
+	rate = allocf(8 * NOPT);
+	vol = allocf(8 * NOPT);
+	tte = allocf(8 * NOPT);
+	prices = allocf(8 * NOPT);
+	state = 20240101;
+	for i = 0; i < NOPT; i = i + 1 {
+		spot[i] = 50.0 + float(nextRand() %% 1000) / 10.0;
+		strike[i] = 50.0 + float(nextRand() %% 1000) / 10.0;
+		rate[i] = 0.01 + float(nextRand() %% 5) / 100.0;
+		vol[i] = 0.1 + float(nextRand() %% 40) / 100.0;
+		tte[i] = 0.25 + float(nextRand() %% 8) / 4.0;
+	}
+	for i = 0; i < NTHREADS; i = i + 1 {
+		tids[i] = spawn(worker, i);
+	}
+	for i = 0; i < NTHREADS; i = i + 1 {
+		join(tids[i]);
+	}
+	sum = 0.0;
+	for i = 0; i < NOPT; i = i + 1 {
+		sum = sum + prices[i];
+	}
+	print("blackscholes sum ");
+	printf(sum);
+	print("\n");
+}
+`, options, threads, mathLib)
+}
+
+// swaptionsSource approximates PARSEC's swaptions: Monte Carlo payoff
+// estimation per instrument, workers striding over the portfolio.
+func swaptionsSource(c Class) string {
+	swaptions := pick(c, 8, 64, 128)
+	trials := pick(c, 50, 2000, 5000)
+	return fmt.Sprintf(`
+const NSWAP = %d;
+const TRIALS = %d;
+const NTHREADS = 4;
+
+var results *float;
+var seeds *int;
+var tids[8] int;
+%s
+func lcg(s int) int {
+	return (s * 1103515245 + 12345) & 0x7fffffff;
+}
+
+// simulate estimates one swaption's value with a toy short-rate walk.
+func simulate(idx int) float {
+	var s int;
+	var t int;
+	var rate float;
+	var payoff float;
+	var total float;
+	s = seeds[idx];
+	total = 0.0;
+	for t = 0; t < TRIALS; t = t + 1 {
+		s = lcg(s);
+		rate = 0.02 + float(s %% 1000) / 25000.0;
+		payoff = mexp(0.0 - rate * 5.0) * (rate - 0.03);
+		if payoff > 0.0 {
+			total = total + payoff;
+		}
+	}
+	return total / float(TRIALS);
+}
+
+func worker(id int) {
+	var i int;
+	for i = id; i < NSWAP; i = i + NTHREADS {
+		results[i] = simulate(i);
+	}
+}
+
+func main() {
+	var i int;
+	var sum float;
+	results = allocf(8 * NSWAP);
+	seeds = alloc(8 * NSWAP);
+	for i = 0; i < NSWAP; i = i + 1 {
+		seeds[i] = 1000003 * (i + 1);
+	}
+	for i = 0; i < NTHREADS; i = i + 1 {
+		tids[i] = spawn(worker, i);
+	}
+	for i = 0; i < NTHREADS; i = i + 1 {
+		join(tids[i]);
+	}
+	sum = 0.0;
+	for i = 0; i < NSWAP; i = i + 1 {
+		sum = sum + results[i];
+	}
+	print("swaptions sum ");
+	printf(sum);
+	print("\n");
+}
+`, swaptions, trials, mathLib)
+}
+
+// streamclusterSource approximates PARSEC's streamcluster: assign points
+// to the nearest of K medians under a mutex-protected shared cost
+// accumulator (lock contention exercises the monitor's rollback paths).
+func streamclusterSource(c Class) string {
+	points := pick(c, 256, 12000, 40000)
+	medians := pick(c, 4, 10, 16)
+	return fmt.Sprintf(`
+const NPTS = %d;
+const K = %d;
+const NTHREADS = 4;
+
+var pts *float;
+var meds *float;
+var state int;
+var totalCost float;
+var tids[8] int;
+
+func nextRand() int {
+	state = (state * 1103515245 + 12345) & 0x7fffffff;
+	return state;
+}
+
+func d2(dx float, dy float) float {
+	return dx * dx + dy * dy;
+}
+
+func assignCost(i int) float {
+	var best float;
+	var d float;
+	var j int;
+	best = d2(pts[2*i] - meds[0], pts[2*i+1] - meds[1]);
+	for j = 1; j < K; j = j + 1 {
+		d = d2(pts[2*i] - meds[2*j], pts[2*i+1] - meds[2*j+1]);
+		if d < best { best = d; }
+	}
+	return best;
+}
+
+func worker(id int) {
+	var i int;
+	var local float;
+	local = 0.0;
+	for i = id; i < NPTS; i = i + NTHREADS {
+		local = local + assignCost(i);
+	}
+	lock(1);
+	totalCost = totalCost + local;
+	unlock(1);
+}
+
+func main() {
+	var i int;
+	pts = allocf(8 * 2 * NPTS);
+	meds = allocf(8 * 2 * K);
+	state = 987654321;
+	for i = 0; i < NPTS; i = i + 1 {
+		pts[2*i] = float(nextRand() %% 1000) / 10.0;
+		pts[2*i+1] = float(nextRand() %% 1000) / 10.0;
+	}
+	for i = 0; i < K; i = i + 1 {
+		meds[2*i] = pts[2*i];
+		meds[2*i+1] = pts[2*i+1];
+	}
+	totalCost = 0.0;
+	for i = 0; i < NTHREADS; i = i + 1 {
+		tids[i] = spawn(worker, i);
+	}
+	for i = 0; i < NTHREADS; i = i + 1 {
+		join(tids[i]);
+	}
+	print("streamcluster cost ");
+	printf(totalCost);
+	print("\n");
+}
+`, points, medians)
+}

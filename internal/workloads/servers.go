@@ -1,0 +1,230 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// rediskaSource is the Redis-like key/value server: a word-based protocol
+// over the simulated network (recv/send), an open-addressing hash table on
+// the heap, and a bulk-load command so migration experiments can vary the
+// in-memory database size (the paper's Redis DB-size axis in Fig. 7).
+//
+// Protocol (8-byte words):
+//
+//	request:  [op, key, value]
+//	  op 1 = SET key value -> [1]
+//	  op 2 = GET key       -> [1, value] or [0]
+//	  op 3 = DEL key       -> [1] or [0]
+//	  op 4 = LOAD n        -> preload n synthetic keys -> [1, n]
+//	  op 5 = STATS         -> [1, items]
+func rediskaSource(c Class) string {
+	buckets := pick(c, 1<<10, 1<<14, 1<<16)
+	return fmt.Sprintf(`
+const NBUCKETS = %d;
+
+var keys *int;
+var vals *int;
+var used *int;
+var items int;
+
+func slotFor(k int) int {
+	var h int;
+	var i int;
+	h = (k * 2654435761) & (NBUCKETS - 1);
+	if h < 0 { h = 0 - h; }
+	for i = 0; i < NBUCKETS; i = i + 1 {
+		if used[h] == 0 { return h; }
+		if keys[h] == k { return h; }
+		h = (h + 1) & (NBUCKETS - 1);
+	}
+	return 0 - 1;
+}
+
+func kvSet(k int, v int) int {
+	var s int;
+	s = slotFor(k);
+	if s < 0 { return 0; }
+	if used[s] == 0 {
+		used[s] = 1;
+		keys[s] = k;
+		items = items + 1;
+	}
+	vals[s] = v;
+	return 1;
+}
+
+func kvGet(k int, out *int) int {
+	var s int;
+	s = slotFor(k);
+	if s < 0 { return 0; }
+	if used[s] != 1 { return 0; }
+	out[0] = vals[s];
+	return 1;
+}
+
+func kvDel(k int) int {
+	var s int;
+	s = slotFor(k);
+	if s < 0 { return 0; }
+	if used[s] != 1 { return 0; }
+	used[s] = 2; // tombstone
+	items = items - 1;
+	return 1;
+}
+
+func bulkLoad(n int) int {
+	var i int;
+	var payload *int;
+	var j int;
+	for i = 0; i < n; i = i + 1 {
+		kvSet(1000000 + i * 7, i * i + 3);
+		// Each key carries a value payload, as a real store would; this is
+		// what makes the in-memory footprint grow with the database size.
+		payload = alloc(256);
+		for j = 0; j < 32; j = j + 1 {
+			payload[j] = i * 31 + j;
+		}
+	}
+	return n;
+}
+
+func main() {
+	var req[8] int;
+	var resp[4] int;
+	var n int;
+	var op int;
+	var tmp[2] int;
+	keys = alloc(8 * NBUCKETS);
+	vals = alloc(8 * NBUCKETS);
+	used = alloc(8 * NBUCKETS);
+	while 1 {
+		n = recv(&req[0], 64);
+		if n < 0 { break; }
+		op = req[0];
+		resp[0] = 0;
+		resp[1] = 0;
+		if op == 1 {
+			resp[0] = kvSet(req[1], req[2]);
+			send(&resp[0], 8);
+		} else if op == 2 {
+			resp[0] = kvGet(req[1], &tmp[0]);
+			resp[1] = tmp[0];
+			send(&resp[0], 16);
+		} else if op == 3 {
+			resp[0] = kvDel(req[1]);
+			send(&resp[0], 8);
+		} else if op == 4 {
+			resp[0] = 1;
+			resp[1] = bulkLoad(req[1]);
+			send(&resp[0], 16);
+		} else if op == 5 {
+			resp[0] = 1;
+			resp[1] = items;
+			send(&resp[0], 16);
+		} else {
+			send(&resp[0], 8);
+		}
+	}
+	exit(0);
+}
+`, buckets)
+}
+
+// nginzSource is the Nginx-like request router: static, compute, and
+// stats routes with per-route counters.
+//
+// Protocol (8-byte words):
+//
+//	request:  [route, param]
+//	  route 1 = static page   -> [200, 0x44415050]
+//	  route 2 = compute(param)-> [200, fnv(param)]
+//	  route 3 = stats         -> [200, requestsServed]
+//	  other                   -> [404, 0]
+func nginzSource(c Class) string {
+	work := pick(c, 10, 200, 600)
+	return fmt.Sprintf(`
+const WORK = %d;
+
+var served int;
+var perRoute[8] int;
+
+func fnvRound(h int, v int) int {
+	return ((h ^ v) * 16777619) & 0x7fffffffffff;
+}
+
+func computeRoute(param int) int {
+	var h int;
+	var i int;
+	h = 2166136261;
+	for i = 0; i < WORK; i = i + 1 {
+		h = fnvRound(h, param + i);
+	}
+	return h;
+}
+
+func route(op int, param int, resp *int) {
+	resp[0] = 200;
+	if op == 1 {
+		resp[1] = 0x44415050;
+	} else if op == 2 {
+		resp[1] = computeRoute(param);
+	} else if op == 3 {
+		resp[1] = served;
+	} else {
+		resp[0] = 404;
+		resp[1] = 0;
+	}
+	if op >= 0 && op < 8 {
+		perRoute[op] = perRoute[op] + 1;
+	}
+}
+
+func main() {
+	var req[4] int;
+	var resp[4] int;
+	var n int;
+	while 1 {
+		n = recv(&req[0], 32);
+		if n < 0 { break; }
+		route(req[0], req[1], &resp[0]);
+		served = served + 1;
+		send(&resp[0], 16);
+	}
+	exit(0);
+}
+`, work)
+}
+
+// --- Host-side protocol helpers for driving the servers in tests and
+// benchmarks. ---
+
+// Words encodes 8-byte little-endian words as a request payload.
+func Words(ws ...uint64) []byte {
+	out := make([]byte, 8*len(ws))
+	for i, w := range ws {
+		binary.LittleEndian.PutUint64(out[8*i:], w)
+	}
+	return out
+}
+
+// ParseWords decodes a response into words.
+func ParseWords(b []byte) []uint64 {
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}
+
+// Rediska request builders.
+func RediskaSet(key, val uint64) []byte { return Words(1, key, val) }
+func RediskaGet(key uint64) []byte      { return Words(2, key, 0) }
+func RediskaDel(key uint64) []byte      { return Words(3, key, 0) }
+func RediskaLoad(n uint64) []byte       { return Words(4, n, 0) }
+func RediskaStats() []byte              { return Words(5, 0, 0) }
+
+// Nginz request builders.
+func NginzStatic() []byte              { return Words(1, 0) }
+func NginzCompute(param uint64) []byte { return Words(2, param) }
+func NginzStats() []byte               { return Words(3, 0) }
