@@ -29,9 +29,11 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("dapper-bench", flag.ContinueOnError)
 	class := fs.String("class", "S", "problem class: S, A, or B")
 	out := fs.String("out", "", "also append markdown tables to this file")
+	lazyTCP := fs.Bool("lazytcp", false, "serve post-copy pages over a real TCP page server (fig7)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiments.LazyTCP = *lazyTCP
 	c := workloads.Class(strings.ToUpper(*class))
 	gens := map[string]genFunc{
 		"fig1":  experiments.Fig1,

@@ -56,28 +56,23 @@ func run() error {
 	fmt.Printf("rediska loaded with %d keys (%d KiB resident) on %s\n",
 		dbKeys, p.AS.ResidentBytes()/1024, xeon.Spec.Name)
 
-	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{Lazy: true})
+	// LazyTCP serves the post-copy pages over a REAL TCP page server, as
+	// the cross-node deployment would: a pooled, pipelined client with
+	// per-fetch deadlines and retry, prefetching a small window around
+	// each fault.
+	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{
+		Lazy:       true,
+		LazyTCP:    true,
+		PageClient: &criu.PageClientOpts{Prefetch: 4},
+	})
 	if err != nil {
 		return err
 	}
+	defer res.Close()
 	bd := res.Breakdown
 	fmt.Printf("post-copy migration to %s: images %d B, checkpoint=%v recode=%v copy=%v restore=%v\n",
 		pi.Spec.Name, bd.ImageBytes, bd.Checkpoint, bd.Recode, bd.Copy, bd.Restore)
-
-	// Swap the in-memory page source for a REAL TCP page server, as the
-	// cross-node deployment would use.
-	srv, err := criu.ServePages("127.0.0.1:0", criu.NewProcessPageSource(p))
-	if err != nil {
-		return err
-	}
-	defer srv.Close()
-	client, err := criu.DialPageServer(srv.Addr())
-	if err != nil {
-		return err
-	}
-	defer client.Close()
-	criu.InstallLazyHandler(res.Proc, client)
-	fmt.Printf("page server listening on %s; destination faults pages over TCP\n\n", srv.Addr())
+	fmt.Printf("page server up; destination faults pages over TCP\n\n")
 
 	// Query the migrated store: every page it touches is pulled over the
 	// socket on first access.
@@ -111,7 +106,11 @@ func run() error {
 	if err := pi.K.Run(p2); err != nil {
 		return err
 	}
+	res.FinalizeLazyStats()
+	cst := res.PageClientStats()
 	fmt.Printf("\nserved all queries after post-copy migration; %d KiB now resident on the destination\n",
 		p2.AS.ResidentBytes()/1024)
+	fmt.Printf("page server served %d requests (%d KiB); client: %d fetches, %d retries, %d prefetch hits\n",
+		res.Breakdown.LazyFetches, res.Breakdown.LazyBytes/1024, cst.Fetches, cst.Retries, cst.PrefetchHits)
 	return nil
 }

@@ -14,6 +14,8 @@ package cluster
 
 import (
 	"fmt"
+	"net"
+	"sync"
 	"time"
 
 	"github.com/dapper-sim/dapper/internal/compiler"
@@ -126,6 +128,20 @@ func (b *Breakdown) Total() time.Duration {
 // MigrateOpts controls a migration.
 type MigrateOpts struct {
 	Lazy bool
+	// LazyTCP serves post-copy pages over a real TCP page server (the
+	// cross-node deployment path) instead of in-process FetchPage calls.
+	// Requires Lazy. The server and client live inside the
+	// MigrationResult; call Close when paging is done.
+	LazyTCP bool
+	// PageClient tunes the TCP page client (pool size, deadlines,
+	// retries, prefetch); nil selects criu's defaults.
+	PageClient *criu.PageClientOpts
+	// WrapPageSource, if set, wraps the page source serving lazy faults —
+	// tests interpose criu.FlakySource here to inject fetch failures.
+	WrapPageSource func(criu.PageSource) criu.PageSource
+	// WrapListener, if set, wraps the TCP page server's listener — tests
+	// interpose criu.FlakyListener here to inject connection drops.
+	WrapListener func(net.Listener) net.Listener
 	// Shuffle additionally re-randomizes the stack layout during the
 	// rewrite (policy chaining); ShuffleSeed selects the permutation.
 	Shuffle     bool
@@ -145,9 +161,82 @@ type MigrateOpts struct {
 type MigrationResult struct {
 	Proc      *kernel.Process
 	Breakdown Breakdown
-	// Source is the paused source process (kept alive as the page server
-	// for lazy migrations; dead weight otherwise).
+	// Source is the paused source process's page source. It is non-nil
+	// only for lazy migrations, where the source process must stay alive
+	// to serve post-copy faults: run the restored process to completion
+	// (or until its working set is resident), call FinalizeLazyStats if
+	// you want the realized paging traffic in the Breakdown, then Close.
+	// For non-lazy migrations Migrate reaps the source immediately — its
+	// console output stays readable, but it never runs again — and Source
+	// is nil.
 	Source *criu.ProcessPageSource
+
+	srcKernel  *kernel.Kernel
+	srcProc    *kernel.Process
+	pageServer *criu.PageServer
+	pageClient *criu.RemotePageSource
+	closeOnce  sync.Once
+	closeErr   error
+}
+
+// Close releases the migration's lazy-paging plumbing: it closes the TCP
+// page client and server (if LazyTCP) and reaps the paused source process.
+// After Close the restored process must not fault any page that was left
+// behind on the source — run it to completion first, or accept that such a
+// fault fails with a transport error (see kernel.IsLazyFaultError). Close
+// is idempotent; for non-lazy migrations it is a no-op.
+func (r *MigrationResult) Close() error {
+	r.closeOnce.Do(func() {
+		if r.pageClient != nil {
+			r.pageClient.Close()
+		}
+		if r.pageServer != nil {
+			r.closeErr = r.pageServer.Close()
+		}
+		if r.srcKernel != nil && r.srcProc != nil {
+			r.srcKernel.Reap(r.srcProc)
+		}
+	})
+	return r.closeErr
+}
+
+// FinalizeLazyStats copies the realized post-copy paging traffic into the
+// Breakdown: LazyFetches/LazyBytes become the page server's actual request
+// and byte counters (including requests that were retried or failed),
+// rather than an estimate. Call it after the restored process has run.
+func (r *MigrationResult) FinalizeLazyStats() {
+	switch {
+	case r.pageServer != nil:
+		st := r.pageServer.Stats()
+		r.Breakdown.LazyFetches = st.Requests
+		r.Breakdown.LazyBytes = st.BytesSent
+	case r.Source != nil:
+		st := r.Source.Stats()
+		r.Breakdown.LazyFetches = st.Requests
+		r.Breakdown.LazyBytes = st.BytesSent
+	}
+}
+
+// PageStats returns the page-serving counters for a lazy migration: the
+// TCP server's view when LazyTCP, else the in-process source's.
+func (r *MigrationResult) PageStats() criu.PageServerStats {
+	if r.pageServer != nil {
+		return r.pageServer.Stats()
+	}
+	if r.Source != nil {
+		return r.Source.Stats()
+	}
+	return criu.PageServerStats{}
+}
+
+// PageClientStats returns the TCP page client's transport counters
+// (retries, reconnects, timeouts, prefetch activity); zero when the
+// migration did not use LazyTCP.
+func (r *MigrationResult) PageClientStats() criu.PageClientStats {
+	if r.pageClient == nil {
+		return criu.PageClientStats{}
+	}
+	return r.pageClient.Stats()
 }
 
 // Migrate checkpoints p on src, rewrites it for dst's architecture, copies
@@ -197,7 +286,10 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 		if err := pol.Rewrite(dir, ctx); err != nil {
 			return nil, fmt.Errorf("cluster: shuffle: %w", err)
 		}
-		filesRaw, _ := dir.Get("files.img")
+		filesRaw, ok := dir.Get("files.img")
+		if !ok {
+			return nil, fmt.Errorf("cluster: shuffle: image directory missing files.img")
+		}
 		files, err := criu.UnmarshalFiles(filesRaw)
 		if err != nil {
 			return nil, err
@@ -227,13 +319,44 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	}
 	bd.Restore = RestoreTime(dir2.Size(), opts.Lazy)
 
-	res := &MigrationResult{Proc: p2, Breakdown: bd}
-	if opts.Lazy {
-		srcPages := criu.NewProcessPageSource(p)
-		criu.InstallLazyHandler(p2, srcPages)
-		res.Source = srcPages
-		res.Breakdown.LazyBytes = p.AS.ResidentBytes()
+	res := &MigrationResult{Proc: p2, Breakdown: bd, srcKernel: src.K, srcProc: p}
+	if !opts.Lazy {
+		// Nothing will ever fault back to the source: reap it now instead
+		// of leaking it SIGSTOPed forever. Its console stays readable.
+		src.K.Reap(p)
+		return res, nil
 	}
+
+	// Post-copy: the paused source process becomes the page server.
+	srcPages := criu.NewProcessPageSource(p)
+	res.Source = srcPages
+	var pageSrc criu.PageSource = srcPages
+	if opts.WrapPageSource != nil {
+		pageSrc = opts.WrapPageSource(pageSrc)
+	}
+	if !opts.LazyTCP {
+		criu.InstallLazyHandler(p2, pageSrc)
+		return res, nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: page server: %w", err)
+	}
+	if opts.WrapListener != nil {
+		ln = opts.WrapListener(ln)
+	}
+	srv := criu.ServePagesOn(ln, pageSrc)
+	var copts criu.PageClientOpts
+	if opts.PageClient != nil {
+		copts = *opts.PageClient
+	}
+	client, err := criu.DialPageServerOpts(srv.Addr(), copts)
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("cluster: page client: %w", err)
+	}
+	criu.InstallLazyHandler(p2, client)
+	res.pageServer, res.pageClient = srv, client
 	return res, nil
 }
 

@@ -14,14 +14,22 @@ import (
 // step of a real cross-node deployment. The in-process Migrate path uses
 // direct marshaling for speed; integration tests and multi-process
 // deployments use this.
+//
+// A malformed payload (truncated header, truncated body, oversized image,
+// undecodable directory) is dropped, counted in Errors, and does not
+// affect other transfers.
 type ImageReceiver struct {
 	ln net.Listener
 
-	mu   sync.Mutex
-	recv []*criu.ImageDir
+	mu     sync.Mutex
+	recv   []*criu.ImageDir
+	conns  map[net.Conn]struct{}
+	errs   uint64
+	closed bool
 
-	wg   sync.WaitGroup
-	stop chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // ListenImages starts a receiver on addr ("127.0.0.1:0" for tests).
@@ -30,7 +38,7 @@ func ListenImages(addr string) (*ImageReceiver, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: image receiver: %w", err)
 	}
-	r := &ImageReceiver{ln: ln, stop: make(chan struct{})}
+	r := &ImageReceiver{ln: ln, conns: make(map[net.Conn]struct{})}
 	r.wg.Add(1)
 	go r.acceptLoop()
 	return r, nil
@@ -39,12 +47,32 @@ func ListenImages(addr string) (*ImageReceiver, error) {
 // Addr returns the listen address.
 func (r *ImageReceiver) Addr() string { return r.ln.Addr().String() }
 
-// Close stops the receiver.
+// Errors returns how many inbound transfers were discarded as malformed.
+func (r *ImageReceiver) Errors() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.errs
+}
+
+// Close stops the receiver, closes in-flight connections, and waits for
+// its goroutines. It is idempotent: extra calls return the first call's
+// result.
 func (r *ImageReceiver) Close() error {
-	close(r.stop)
-	err := r.ln.Close()
-	r.wg.Wait()
-	return err
+	r.closeOnce.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		conns := make([]net.Conn, 0, len(r.conns))
+		for c := range r.conns {
+			conns = append(conns, c)
+		}
+		r.mu.Unlock()
+		r.closeErr = r.ln.Close()
+		for _, c := range conns {
+			c.Close()
+		}
+		r.wg.Wait()
+	})
+	return r.closeErr
 }
 
 // Take removes and returns the oldest received directory, or nil.
@@ -66,16 +94,26 @@ func (r *ImageReceiver) acceptLoop() {
 		if err != nil {
 			return
 		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			conn.Close()
+			return
+		}
+		r.conns[conn] = struct{}{}
+		r.mu.Unlock()
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
-			defer conn.Close()
 			dir, err := readImageDir(conn)
-			if err != nil {
-				return
-			}
+			conn.Close()
 			r.mu.Lock()
-			r.recv = append(r.recv, dir)
+			delete(r.conns, conn)
+			if err != nil {
+				r.errs++
+			} else {
+				r.recv = append(r.recv, dir)
+			}
 			r.mu.Unlock()
 		}()
 	}

@@ -1,0 +1,307 @@
+package cluster_test
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/dapper-sim/dapper/internal/cluster"
+	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/kernel"
+)
+
+func waitForErrors(t *testing.T, r *cluster.ImageReceiver, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Errors() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("receiver Errors = %d, want %d", r.Errors(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestImageReceiverMalformedPayloads feeds the receiver a truncated
+// header, a truncated body, and an oversized length; each must be counted
+// as an error, none may produce a directory, and a subsequent well-formed
+// transfer must still succeed.
+func TestImageReceiverMalformedPayloads(t *testing.T) {
+	recvr, err := cluster.ListenImages("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recvr.Close()
+
+	send := func(payload []byte) {
+		t.Helper()
+		conn, err := net.Dial("tcp", recvr.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(payload)
+		conn.Close()
+	}
+
+	// Truncated header: fewer than 8 length bytes.
+	send([]byte{0, 1, 2})
+	waitForErrors(t, recvr, 1)
+
+	// Truncated body: header promises more bytes than arrive.
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], 4096)
+	send(append(hdr[:], []byte("short")...))
+	waitForErrors(t, recvr, 2)
+
+	// Oversized image: length over the 1 GiB limit must be rejected
+	// without attempting the allocation.
+	binary.BigEndian.PutUint64(hdr[:], 8<<30)
+	send(hdr[:])
+	waitForErrors(t, recvr, 3)
+
+	if d := recvr.Take(); d != nil {
+		t.Fatalf("malformed payloads produced a directory: %v", d.Names())
+	}
+
+	// The receiver must still be healthy for a real transfer.
+	dir := criu.NewImageDir()
+	dir.Put("inventory.img", []byte{1, 2, 3, 4})
+	if _, err := cluster.SendImages(recvr.Addr(), dir); err != nil {
+		t.Fatal(err)
+	}
+	var got *criu.ImageDir
+	deadline := time.Now().Add(2 * time.Second)
+	for got == nil && time.Now().Before(deadline) {
+		got = recvr.Take()
+		time.Sleep(time.Millisecond)
+	}
+	if got == nil {
+		t.Fatal("well-formed transfer after malformed ones never arrived")
+	}
+	if recvr.Errors() != 3 {
+		t.Errorf("Errors = %d, want 3", recvr.Errors())
+	}
+}
+
+func TestImageReceiverCloseIdempotent(t *testing.T) {
+	recvr, err := cluster.ListenImages("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recvr.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := recvr.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestMigrateReapsSource: a non-lazy migration must not leak the paused
+// source process — it is reaped (exited, PID released) while its console
+// output stays readable.
+func TestMigrateReapsSource(t *testing.T) {
+	xeon, pi, pair := setup(t)
+	p, err := xeon.Start("work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xeon.K.RunBudget(p, 200_000); err != nil {
+		t.Fatal(err)
+	}
+	preConsole := p.ConsoleString()
+	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != nil {
+		t.Error("non-lazy migration kept a page source")
+	}
+	if !p.Exited {
+		t.Error("source process still alive (leaked SIGSTOPed)")
+	}
+	if p.Stopped {
+		t.Error("reaped source still marked stopped")
+	}
+	if p.ConsoleString() != preConsole {
+		t.Error("reaping lost the source's console output")
+	}
+	if err := res.Close(); err != nil {
+		t.Errorf("close of non-lazy result: %v", err)
+	}
+	if err := pi.K.Run(res.Proc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// heapSrc builds a program with a large enough heap that post-copy leaves
+// ~100+ pages behind on the source.
+const heapSrc = `
+func put(p *int, i int) { p[i] = i * 7 + 1; }
+func get(p *int, i int) int { return p[i]; }
+func main() {
+	var p *int;
+	var i int;
+	var s int;
+	p = alloc(8 * 60000);
+	for i = 0; i < 60000; i = i + 1 { put(p, i); }
+	for i = 0; i < 60000; i = i + 1 { s = s + get(p, i); }
+	printi(s);
+	print("\n");
+}`
+
+// TestLazyMigrationTCPWithFaults is the acceptance test for the resilient
+// page transport: a post-copy migration whose pages travel over a real TCP
+// page server with >=10% injected fetch failures plus connection drops
+// must still complete with byte-identical output, and the breakdown's lazy
+// counters must reflect the page server's actual request stream.
+func TestLazyMigrationTCPWithFaults(t *testing.T) {
+	pair, err := compiler.Compile(heapSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := cluster.NewNode(cluster.XeonSpec)
+	ref.Install("heapy", pair)
+	refProc, err := ref.Start("heapy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.K.Run(refProc); err != nil {
+		t.Fatal(err)
+	}
+	want := refProc.ConsoleString()
+	budget := refProc.VCycles * 2 / 5
+
+	xeon := cluster.NewNode(cluster.XeonSpec)
+	pi := cluster.NewNode(cluster.PiSpec)
+	xeon.Install("heapy", pair)
+	pi.Install("heapy", pair)
+	p, err := xeon.Start("heapy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xeon.K.RunBudget(p, budget); err != nil {
+		t.Fatal(err)
+	}
+
+	var flakySrc *criu.FlakySource
+	var flakyLn *criu.FlakyListener
+	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{
+		Lazy:    true,
+		LazyTCP: true,
+		WrapPageSource: func(src criu.PageSource) criu.PageSource {
+			flakySrc = criu.NewFlakySource(src, criu.FaultSpec{Seed: 1, FailRate: 0.25})
+			return flakySrc
+		},
+		WrapListener: func(ln net.Listener) net.Listener {
+			flakyLn = criu.NewFlakyListener(ln, criu.FaultSpec{Seed: 2, DropRate: 0.05})
+			return flakyLn
+		},
+		PageClient: &criu.PageClientOpts{
+			Conns: 3, FetchTimeout: time.Second,
+			MaxRetries: 14, RetryBackoff: time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+
+	if err := pi.K.Run(res.Proc); err != nil {
+		t.Fatalf("post-copy run under injected faults: %v", err)
+	}
+	got := p.ConsoleString() + res.Proc.ConsoleString()
+	if got != want {
+		t.Errorf("faulty-transport migration output %q, want %q", got, want)
+	}
+
+	res.FinalizeLazyStats()
+	srvStats := res.PageStats()
+	if res.Breakdown.LazyFetches != srvStats.Requests {
+		t.Errorf("Breakdown.LazyFetches = %d, want page-server Requests %d",
+			res.Breakdown.LazyFetches, srvStats.Requests)
+	}
+	if res.Breakdown.LazyBytes != srvStats.BytesSent {
+		t.Errorf("Breakdown.LazyBytes = %d, want page-server BytesSent %d",
+			res.Breakdown.LazyBytes, srvStats.BytesSent)
+	}
+	if srvStats.Requests == 0 {
+		t.Fatal("no pages were served over TCP")
+	}
+	// The injected fault volume must be at least 10% of the request
+	// stream, or the test is not demonstrating resilience.
+	injected := flakySrc.Failures() + flakyLn.Drops()
+	if injected*10 < srvStats.Requests {
+		t.Errorf("injected faults %d (< 10%% of %d requests): fault rate too low to be meaningful",
+			injected, srvStats.Requests)
+	}
+	if srvStats.Errors != flakySrc.Failures() {
+		t.Errorf("server error frames %d != injected fetch failures %d",
+			srvStats.Errors, flakySrc.Failures())
+	}
+	cst := res.PageClientStats()
+	if cst.Retries == 0 {
+		t.Errorf("faults injected but client never retried: %+v", cst)
+	}
+	t.Logf("served %d requests (%d errors, %d drops); client: %d fetches, %d retries, %d reconnects, %d timeouts",
+		srvStats.Requests, srvStats.Errors, flakyLn.Drops(),
+		cst.Fetches, cst.Retries, cst.Reconnects, cst.Timeouts)
+
+	// Close reaps the source.
+	if err := res.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if !p.Exited {
+		t.Error("lazy source not reaped by Close")
+	}
+}
+
+// TestLazyFaultErrorSurfaces: if the transport is torn down while lazy
+// pages are still missing, the destination's next fault must fail with an
+// identifiable transport error, not a silent zero page or a hang.
+func TestLazyFaultErrorSurfaces(t *testing.T) {
+	pair, err := compiler.Compile(heapSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := cluster.NewNode(cluster.XeonSpec)
+	ref.Install("heapy", pair)
+	refProc, err := ref.Start("heapy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.K.Run(refProc); err != nil {
+		t.Fatal(err)
+	}
+	budget := refProc.VCycles * 2 / 5
+
+	xeon := cluster.NewNode(cluster.XeonSpec)
+	pi := cluster.NewNode(cluster.PiSpec)
+	xeon.Install("heapy", pair)
+	pi.Install("heapy", pair)
+	p, err := xeon.Start("heapy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xeon.K.RunBudget(p, budget); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{
+		Lazy: true, LazyTCP: true,
+		PageClient: &criu.PageClientOpts{MaxRetries: 1, RetryBackoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the transport before the destination has pulled its pages.
+	if err := res.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = pi.K.Run(res.Proc)
+	if err == nil {
+		t.Fatal("destination ran to completion with no page source")
+	}
+	if !kernel.IsLazyFaultError(err) {
+		t.Errorf("error %v not identified as a lazy-fault transport error", err)
+	}
+}

@@ -1,10 +1,6 @@
 package criu
 
 import (
-	"encoding/binary"
-	"fmt"
-	"io"
-	"net"
 	"sync"
 
 	"github.com/dapper-sim/dapper/internal/kernel"
@@ -13,6 +9,10 @@ import (
 
 // PageSource serves page contents for post-copy restoration. The
 // destination's fault handler calls FetchPage for every missing page.
+//
+// Implementations: ProcessPageSource (in-process, same-host),
+// RemotePageSource (TCP client, see pageclient.go), FlakySource
+// (fault-injection wrapper, see faultinject.go).
 type PageSource interface {
 	FetchPage(addr uint64) ([]byte, error)
 }
@@ -29,8 +29,13 @@ type ProcessPageSource struct {
 
 // PageServerStats counts page-server activity (drives the Fig. 7 model).
 type PageServerStats struct {
-	Requests  uint64
+	// Requests counts FetchPage calls, including ones that failed.
+	Requests uint64
+	// BytesSent counts payload bytes of successful fetches.
 	BytesSent uint64
+	// Errors counts fetches that failed (reported to clients as error
+	// frames by the TCP server rather than dropped connections).
+	Errors uint64
 }
 
 // NewProcessPageSource wraps a stopped source process.
@@ -60,116 +65,12 @@ func (s *ProcessPageSource) Stats() PageServerStats {
 }
 
 // InstallLazyHandler wires a restored process's page faults to a source.
+// A FetchPage error propagates out of the faulting memory access as a
+// *mem.FaultError whose Cause is the transport error (see
+// kernel.IsLazyFaultError), failing the process rather than silently
+// zero-filling the page.
 func InstallLazyHandler(p *kernel.Process, src PageSource) {
 	p.AS.SetFaultHandler(func(pageAddr uint64) ([]byte, error) {
 		return src.FetchPage(pageAddr)
 	})
 }
-
-// --- TCP page server (the cross-node form) ---
-
-// PageServer serves FetchPage requests over a listener using a tiny
-// length-free fixed protocol: 8-byte big-endian page address in, PageSize
-// bytes out.
-type PageServer struct {
-	src PageSource
-	ln  net.Listener
-
-	wg   sync.WaitGroup
-	stop chan struct{}
-}
-
-// ServePages starts a TCP page server on addr ("127.0.0.1:0" for tests).
-func ServePages(addr string, src PageSource) (*PageServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("criu: page server: %w", err)
-	}
-	s := &PageServer{src: src, ln: ln, stop: make(chan struct{})}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
-}
-
-// Addr returns the listen address.
-func (s *PageServer) Addr() string { return s.ln.Addr().String() }
-
-// Close stops the server and waits for its goroutines.
-func (s *PageServer) Close() error {
-	close(s.stop)
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-func (s *PageServer) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			select {
-			case <-s.stop:
-				return
-			default:
-				return
-			}
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
-			s.serveConn(conn)
-		}()
-	}
-}
-
-func (s *PageServer) serveConn(conn net.Conn) {
-	var req [8]byte
-	for {
-		if _, err := io.ReadFull(conn, req[:]); err != nil {
-			return
-		}
-		addr := binary.BigEndian.Uint64(req[:])
-		page, err := s.src.FetchPage(addr)
-		if err != nil {
-			return
-		}
-		if _, err := conn.Write(page); err != nil {
-			return
-		}
-	}
-}
-
-// RemotePageSource is the client side of the TCP page server.
-type RemotePageSource struct {
-	mu   sync.Mutex
-	conn net.Conn
-}
-
-// DialPageServer connects to a page server.
-func DialPageServer(addr string) (*RemotePageSource, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("criu: page client: %w", err)
-	}
-	return &RemotePageSource{conn: conn}, nil
-}
-
-// FetchPage implements PageSource over the wire.
-func (c *RemotePageSource) FetchPage(addr uint64) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var req [8]byte
-	binary.BigEndian.PutUint64(req[:], addr)
-	if _, err := c.conn.Write(req[:]); err != nil {
-		return nil, err
-	}
-	page := make([]byte, mem.PageSize)
-	if _, err := io.ReadFull(c.conn, page); err != nil {
-		return nil, err
-	}
-	return page, nil
-}
-
-// Close closes the client connection.
-func (c *RemotePageSource) Close() error { return c.conn.Close() }

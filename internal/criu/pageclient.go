@@ -1,0 +1,440 @@
+package criu
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dapper-sim/dapper/internal/mem"
+)
+
+// PageClientOpts tunes the resilient page client. The zero value selects
+// the defaults noted on each field.
+type PageClientOpts struct {
+	// Conns is the connection-pool size (default 2). Fetches are
+	// round-robined across the pool and pipelined within a connection:
+	// many requests can be in flight at once, matched to responses by
+	// request ID.
+	Conns int
+	// FetchTimeout bounds one fetch attempt, including any redial
+	// (default 2s). A timed-out request is abandoned — its late response,
+	// if any, is discarded by request ID — and retried.
+	FetchTimeout time.Duration
+	// MaxRetries is how many times a failed or timed-out fetch is retried
+	// (default 4). Each retry may land on a different pool connection and
+	// redials broken ones.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry (default 5ms),
+	// doubling per subsequent retry up to 32x.
+	RetryBackoff time.Duration
+	// Prefetch asynchronously requests this many pages following every
+	// demand-fetched page (default 0 = disabled), hiding round-trip
+	// latency for sequential access patterns. Prefetched pages are held
+	// in a bounded cache until the fault handler asks for them.
+	Prefetch int
+	// DialTimeout bounds one (re)connection attempt (default 1s).
+	DialTimeout time.Duration
+	// Dial overrides the dialer; tests inject faulty transports here.
+	Dial func(addr string) (net.Conn, error)
+}
+
+func (o PageClientOpts) withDefaults() PageClientOpts {
+	if o.Conns <= 0 {
+		o.Conns = 2
+	}
+	if o.FetchTimeout <= 0 {
+		o.FetchTimeout = 2 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 5 * time.Millisecond
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = time.Second
+	}
+	return o
+}
+
+// PageClientStats counts client-side transport activity.
+type PageClientStats struct {
+	Fetches      uint64 // successful FetchPage calls
+	Retries      uint64 // attempts beyond each fetch's first
+	Reconnects   uint64 // redials after a pool connection broke
+	Timeouts     uint64 // attempts abandoned at FetchTimeout
+	RemoteErrors uint64 // explicit error frames from the server
+	BytesRead    uint64 // page payload bytes received on demand
+	// PrefetchIssued / Prefetched / PrefetchHits count speculative page
+	// requests started, completed into the cache, and later consumed by a
+	// fault.
+	PrefetchIssued uint64
+	Prefetched     uint64
+	PrefetchHits   uint64
+}
+
+// ErrPageClientClosed is returned by FetchPage after Close.
+var ErrPageClientClosed = errors.New("criu: page client closed")
+
+// errConnBroken reports a request that raced with its connection's
+// teardown before it could be written; the retry loop redials.
+var errConnBroken = errors.New("criu: page connection broken")
+
+// RemotePageSource is the client side of the TCP page server: a connection
+// pool with pipelined request IDs, per-fetch deadlines, bounded
+// retry-and-reconnect, and optional sequential prefetch. It implements
+// PageSource and is safe for concurrent use.
+type RemotePageSource struct {
+	addr string
+	opts PageClientOpts
+
+	next  atomic.Uint32 // round-robin cursor over conns
+	conns []*pageConn
+
+	mu     sync.Mutex
+	stats  PageClientStats
+	cache  map[uint64][]byte // prefetched pages; nil value = in flight
+	closed bool
+
+	closeOnce  sync.Once
+	prefetchWG sync.WaitGroup
+}
+
+// DialPageServer connects to a page server with default options.
+func DialPageServer(addr string) (*RemotePageSource, error) {
+	return DialPageServerOpts(addr, PageClientOpts{})
+}
+
+// DialPageServerOpts connects to a page server. The first pool connection
+// is established eagerly so an unreachable server fails here rather than at
+// the first page fault; the rest are dialed on demand.
+func DialPageServerOpts(addr string, opts PageClientOpts) (*RemotePageSource, error) {
+	c := &RemotePageSource{
+		addr:  addr,
+		opts:  opts.withDefaults(),
+		cache: make(map[uint64][]byte),
+	}
+	c.conns = make([]*pageConn, c.opts.Conns)
+	for i := range c.conns {
+		c.conns[i] = &pageConn{client: c}
+	}
+	if _, err := c.conns[0].state(); err != nil {
+		return nil, fmt.Errorf("criu: page client: %w", err)
+	}
+	return c, nil
+}
+
+// Stats returns a copy of the client counters.
+func (c *RemotePageSource) Stats() PageClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close tears down the pool and fails any in-flight fetches. It is
+// idempotent.
+func (c *RemotePageSource) Close() error {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		for _, pc := range c.conns {
+			pc.mu.Lock()
+			cs := pc.cur
+			pc.mu.Unlock()
+			if cs != nil {
+				pc.drop(cs, ErrPageClientClosed)
+			}
+		}
+		c.prefetchWG.Wait()
+	})
+	return nil
+}
+
+func (c *RemotePageSource) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+func (c *RemotePageSource) bump(f func(*PageClientStats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// FetchPage implements PageSource with retry, reconnection, and prefetch.
+func (c *RemotePageSource) FetchPage(addr uint64) ([]byte, error) {
+	if page := c.cacheTake(addr); page != nil {
+		c.bump(func(s *PageClientStats) { s.PrefetchHits++; s.Fetches++ })
+		return page, nil
+	}
+	page, err := c.fetchWithRetry(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.bump(func(s *PageClientStats) { s.Fetches++; s.BytesRead += uint64(len(page)) })
+	c.maybePrefetch(addr)
+	return page, nil
+}
+
+func (c *RemotePageSource) fetchWithRetry(addr uint64) ([]byte, error) {
+	backoff := c.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if c.isClosed() {
+			return nil, ErrPageClientClosed
+		}
+		if attempt > 0 {
+			c.bump(func(s *PageClientStats) { s.Retries++ })
+			time.Sleep(backoff)
+			if backoff < 32*c.opts.RetryBackoff {
+				backoff *= 2
+			}
+		}
+		pc := c.pick()
+		page, err := pc.roundTrip(addr, c.opts.FetchTimeout)
+		if err == nil {
+			return page, nil
+		}
+		if errors.Is(err, ErrPageClientClosed) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("criu: page fetch 0x%x failed after %d attempts: %w",
+		addr, c.opts.MaxRetries+1, lastErr)
+}
+
+func (c *RemotePageSource) pick() *pageConn {
+	i := c.next.Add(1)
+	return c.conns[int(i)%len(c.conns)]
+}
+
+func (c *RemotePageSource) dial() (net.Conn, error) {
+	if c.isClosed() {
+		return nil, ErrPageClientClosed
+	}
+	if c.opts.Dial != nil {
+		return c.opts.Dial(c.addr)
+	}
+	return net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+}
+
+// --- prefetch cache ---
+
+// maxPrefetchCache bounds the number of cached-or-in-flight prefetch
+// entries; past it new prefetches are skipped rather than evicting.
+const maxPrefetchCache = 256
+
+func (c *RemotePageSource) cacheTake(addr uint64) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	page, ok := c.cache[addr]
+	if !ok || page == nil {
+		// Absent, or still in flight: fall through to a demand fetch.
+		return nil
+	}
+	delete(c.cache, addr)
+	return page
+}
+
+// cacheReserve marks addr as in flight; it reports false if the page is
+// already cached/in flight or the cache is full.
+func (c *RemotePageSource) cacheReserve(addr uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.cache) >= maxPrefetchCache {
+		return false
+	}
+	if _, ok := c.cache[addr]; ok {
+		return false
+	}
+	c.cache[addr] = nil
+	return true
+}
+
+func (c *RemotePageSource) cacheFill(addr uint64, page []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.cache[addr]; ok && p == nil {
+		c.cache[addr] = page
+		c.stats.Prefetched++
+	}
+}
+
+func (c *RemotePageSource) cacheAbort(addr uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.cache[addr]; ok && p == nil {
+		delete(c.cache, addr)
+	}
+}
+
+// maybePrefetch speculatively requests the window of pages following addr.
+// Prefetches are single-attempt and best-effort: a failure just means the
+// page will be demand-fetched (with retries) when actually faulted.
+func (c *RemotePageSource) maybePrefetch(addr uint64) {
+	for i := 1; i <= c.opts.Prefetch; i++ {
+		paddr := addr + uint64(i)*mem.PageSize
+		if !c.cacheReserve(paddr) {
+			continue
+		}
+		c.bump(func(s *PageClientStats) { s.PrefetchIssued++ })
+		c.prefetchWG.Add(1)
+		go func(paddr uint64) {
+			defer c.prefetchWG.Done()
+			page, err := c.pick().roundTrip(paddr, c.opts.FetchTimeout)
+			if err != nil {
+				c.cacheAbort(paddr)
+				return
+			}
+			c.cacheFill(paddr, page)
+		}(paddr)
+	}
+}
+
+// --- pooled connection ---
+
+type pendingFetch struct {
+	addr uint64
+	ch   chan pageResult
+}
+
+type pageResult struct {
+	page []byte
+	err  error
+}
+
+// connState is one incarnation of a pooled connection. The pending map
+// ties written requests to the reader goroutine; a new incarnation gets a
+// fresh map so a stale reader cannot touch requests issued after a redial.
+type connState struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	pending map[uint32]pendingFetch
+	nextID  uint32
+	dead    bool
+}
+
+type pageConn struct {
+	client *RemotePageSource
+
+	mu        sync.Mutex
+	cur       *connState
+	everAlive bool
+}
+
+// state returns the live connection, dialing a fresh one if needed.
+func (pc *pageConn) state() (*connState, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.cur != nil {
+		return pc.cur, nil
+	}
+	conn, err := pc.client.dial()
+	if err != nil {
+		return nil, err
+	}
+	if pc.everAlive {
+		pc.client.bump(func(s *PageClientStats) { s.Reconnects++ })
+	}
+	pc.everAlive = true
+	cs := &connState{conn: conn, pending: make(map[uint32]pendingFetch)}
+	pc.cur = cs
+	go pc.readLoop(cs)
+	return cs, nil
+}
+
+// drop tears down one connection incarnation, delivering err to every
+// request still pending on it. Safe to call from both the writer and the
+// reader; only the first call acts.
+func (pc *pageConn) drop(cs *connState, err error) {
+	pc.mu.Lock()
+	if pc.cur == cs {
+		pc.cur = nil
+	}
+	pc.mu.Unlock()
+	cs.mu.Lock()
+	if cs.dead {
+		cs.mu.Unlock()
+		return
+	}
+	cs.dead = true
+	pend := cs.pending
+	cs.pending = nil
+	cs.mu.Unlock()
+	cs.conn.Close()
+	for _, pf := range pend {
+		pf.ch <- pageResult{err: err}
+	}
+}
+
+func (pc *pageConn) readLoop(cs *connState) {
+	for {
+		resp, err := readPageResponse(cs.conn)
+		if err != nil {
+			pc.drop(cs, err)
+			return
+		}
+		cs.mu.Lock()
+		pf, ok := cs.pending[resp.ID]
+		delete(cs.pending, resp.ID)
+		cs.mu.Unlock()
+		if !ok {
+			// Response to a request that timed out client-side: the frame
+			// is still well-formed, so just discard it and keep the
+			// connection synchronized.
+			continue
+		}
+		if resp.Remote != "" {
+			pc.client.bump(func(s *PageClientStats) { s.RemoteErrors++ })
+			pf.ch <- pageResult{err: &RemoteFetchError{Addr: pf.addr, Msg: resp.Remote}}
+			continue
+		}
+		pf.ch <- pageResult{page: resp.Page}
+	}
+}
+
+// roundTrip performs one fetch attempt on this pool slot with a deadline.
+func (pc *pageConn) roundTrip(addr uint64, timeout time.Duration) ([]byte, error) {
+	cs, err := pc.state()
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan pageResult, 1)
+	cs.mu.Lock()
+	if cs.dead {
+		cs.mu.Unlock()
+		return nil, errConnBroken
+	}
+	id := cs.nextID
+	cs.nextID++
+	cs.pending[id] = pendingFetch{addr: addr, ch: ch}
+	cs.conn.SetWriteDeadline(time.Now().Add(timeout))
+	werr := writePageRequest(cs.conn, pageRequest{ID: id, Addr: addr})
+	cs.mu.Unlock()
+	if werr != nil {
+		// drop delivers the error to our channel along with everyone
+		// else's, so fall through to the select either way.
+		pc.drop(cs, werr)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.page, res.err
+	case <-timer.C:
+		cs.mu.Lock()
+		delete(cs.pending, id)
+		cs.mu.Unlock()
+		pc.client.bump(func(s *PageClientStats) { s.Timeouts++ })
+		return nil, fmt.Errorf("criu: page fetch 0x%x timed out after %v", addr, timeout)
+	}
+}

@@ -1,0 +1,135 @@
+package criu
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// PageServer serves FetchPage requests over TCP using the pipelined frame
+// protocol in pageproto.go. Each accepted connection is served by its own
+// goroutine; requests on a connection are answered in order, but a client
+// may keep many in flight. A FetchPage failure is reported to the client as
+// an explicit error frame instead of dropping the connection, so one bad
+// page cannot desynchronize an otherwise healthy stream.
+type PageServer struct {
+	src PageSource
+	ln  net.Listener
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	stats  PageServerStats
+	closed bool
+}
+
+// ServePages starts a TCP page server on addr ("127.0.0.1:0" for tests).
+func ServePages(addr string, src PageSource) (*PageServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("criu: page server: %w", err)
+	}
+	return ServePagesOn(ln, src), nil
+}
+
+// ServePagesOn starts a page server on an existing listener. Tests use this
+// to interpose fault-injecting listeners (see FlakyListener); the server
+// takes ownership of ln.
+func ServePagesOn(ln net.Listener, src PageSource) *PageServer {
+	s := &PageServer{src: src, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address.
+func (s *PageServer) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns a copy of the server-side counters: every request frame
+// received, bytes of page payload sent, and fetches answered with an error
+// frame.
+func (s *PageServer) Stats() PageServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops the listener, closes every open connection, and waits for
+// the serving goroutines. It is idempotent: extra calls return the first
+// call's result.
+func (s *PageServer) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		conns := make([]net.Conn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		s.closeErr = s.ln.Close()
+		for _, c := range conns {
+			c.Close()
+		}
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
+func (s *PageServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			// Either Close shut the listener or it failed fatally; in both
+			// cases there is nothing more to accept.
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			conn.Close()
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *PageServer) serveConn(conn net.Conn) {
+	for {
+		req, err := readPageRequest(conn)
+		if err != nil {
+			return
+		}
+		page, ferr := s.src.FetchPage(req.Addr)
+		s.mu.Lock()
+		s.stats.Requests++
+		if ferr != nil {
+			s.stats.Errors++
+		} else {
+			s.stats.BytesSent += uint64(len(page))
+		}
+		s.mu.Unlock()
+		if ferr != nil {
+			if err := writePageError(conn, req.ID, ferr); err != nil {
+				return
+			}
+			continue
+		}
+		if err := writePageResponse(conn, req.ID, page); err != nil {
+			return
+		}
+	}
+}

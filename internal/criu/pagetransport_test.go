@@ -1,0 +1,352 @@
+package criu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dapper-sim/dapper/internal/mem"
+)
+
+// mapSource serves synthetic page contents: every page is filled with a
+// function of its address so content corruption is detectable.
+type mapSource struct {
+	mu       sync.Mutex
+	requests uint64
+	failAddr map[uint64]error // addrs that always fail
+}
+
+func pagePattern(addr uint64) []byte {
+	page := make([]byte, mem.PageSize)
+	for i := 0; i < len(page); i += 8 {
+		binary.LittleEndian.PutUint64(page[i:], addr^uint64(i))
+	}
+	return page
+}
+
+func (m *mapSource) FetchPage(addr uint64) ([]byte, error) {
+	m.mu.Lock()
+	m.requests++
+	err := m.failAddr[addr]
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return pagePattern(addr), nil
+}
+
+func (m *mapSource) Requests() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests
+}
+
+func checkPage(t *testing.T, addr uint64, got []byte) {
+	t.Helper()
+	want := pagePattern(addr)
+	if len(got) != len(want) {
+		t.Fatalf("page 0x%x: got %d bytes, want %d", addr, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("page 0x%x corrupt at byte %d: got 0x%02x want 0x%02x", addr, i, got[i], want[i])
+		}
+	}
+}
+
+func TestPageClientPipelinedConcurrentFetches(t *testing.T) {
+	srv, err := ServePages("127.0.0.1:0", &mapSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialPageServerOpts(srv.Addr(), PageClientOpts{Conns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			addr := uint64(i) * mem.PageSize
+			page, err := c.FetchPage(addr)
+			if err != nil {
+				errs <- fmt.Errorf("page 0x%x: %w", addr, err)
+				return
+			}
+			want := pagePattern(addr)
+			for j := range want {
+				if page[j] != want[j] {
+					errs <- fmt.Errorf("page 0x%x corrupt at %d", addr, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := c.Stats()
+	if st.Fetches != n {
+		t.Errorf("client Fetches = %d, want %d", st.Fetches, n)
+	}
+	if got := srv.Stats().Requests; got != n {
+		t.Errorf("server Requests = %d, want %d", got, n)
+	}
+}
+
+// TestPageServerErrorFrame verifies that a server-side FetchPage failure is
+// reported as an explicit error frame: the client sees the message, the
+// connection stays synchronized, and other pages remain fetchable.
+func TestPageServerErrorFrame(t *testing.T) {
+	bad := uint64(7) * mem.PageSize
+	src := &mapSource{failAddr: map[uint64]error{bad: errors.New("disk on fire")}}
+	srv, err := ServePages("127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialPageServerOpts(srv.Addr(), PageClientOpts{
+		Conns: 1, MaxRetries: 2, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.FetchPage(bad); err == nil {
+		t.Fatal("fetch of failing page succeeded")
+	} else {
+		var remote *RemoteFetchError
+		if !errors.As(err, &remote) {
+			t.Fatalf("error %v is not a RemoteFetchError", err)
+		}
+		if remote.Addr != bad || remote.Msg != "disk on fire" {
+			t.Errorf("remote error = %+v, want addr 0x%x msg %q", remote, bad, "disk on fire")
+		}
+	}
+	// The same connection must still serve good pages: no desync.
+	page, err := c.FetchPage(3 * mem.PageSize)
+	if err != nil {
+		t.Fatalf("fetch after error frame: %v", err)
+	}
+	checkPage(t, 3*mem.PageSize, page)
+	st := srv.Stats()
+	if st.Errors != 3 { // initial attempt + 2 retries
+		t.Errorf("server Errors = %d, want 3", st.Errors)
+	}
+	if c.Stats().RemoteErrors != 3 {
+		t.Errorf("client RemoteErrors = %d, want 3", c.Stats().RemoteErrors)
+	}
+	if c.Stats().Reconnects != 0 {
+		t.Errorf("error frames should not force reconnects, got %d", c.Stats().Reconnects)
+	}
+}
+
+// TestPageClientReconnectAfterDrop injects mid-frame connection drops on
+// the server side; every fetch must still succeed via retry+reconnect.
+func TestPageClientReconnectAfterDrop(t *testing.T) {
+	flaky, fsrv := newFlakyServer(t, FaultSpec{Seed: 42, DropRate: 0.3}, &mapSource{})
+	defer fsrv.Close()
+
+	c, err := DialPageServerOpts(fsrv.Addr(), PageClientOpts{
+		Conns: 2, MaxRetries: 12, RetryBackoff: time.Millisecond, FetchTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		addr := uint64(i) * mem.PageSize
+		page, err := c.FetchPage(addr)
+		if err != nil {
+			t.Fatalf("page 0x%x: %v", addr, err)
+		}
+		checkPage(t, addr, page)
+	}
+	if flaky.Drops() == 0 {
+		t.Fatal("fault injector never dropped a connection; test exercised nothing")
+	}
+	st := c.Stats()
+	if st.Reconnects == 0 {
+		t.Errorf("drops injected (%d) but client never reconnected: %+v", flaky.Drops(), st)
+	}
+	if st.Fetches != n {
+		t.Errorf("Fetches = %d, want %d", st.Fetches, n)
+	}
+}
+
+func newFlakyServer(t *testing.T, spec FaultSpec, src PageSource) (*FlakyListener, *PageServer) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := NewFlakyListener(ln, spec)
+	return flaky, ServePagesOn(flaky, src)
+}
+
+// TestPageClientDeadlineRetry injects latency above the fetch deadline on
+// a fraction of fetches; timed-out attempts must be retried until a fast
+// attempt lands, and late responses must not desynchronize the stream.
+func TestPageClientDeadlineRetry(t *testing.T) {
+	src := NewFlakySource(&mapSource{}, FaultSpec{
+		Seed: 7, Latency: 150 * time.Millisecond, LatencyRate: 0.4,
+	})
+	srv, err := ServePages("127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialPageServerOpts(srv.Addr(), PageClientOpts{
+		Conns: 2, FetchTimeout: 40 * time.Millisecond,
+		MaxRetries: 20, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 30
+	for i := 0; i < n; i++ {
+		addr := uint64(i) * mem.PageSize
+		page, err := c.FetchPage(addr)
+		if err != nil {
+			t.Fatalf("page 0x%x: %v", addr, err)
+		}
+		checkPage(t, addr, page)
+	}
+	if src.Delays() == 0 {
+		t.Fatal("no latency was injected; test exercised nothing")
+	}
+	st := c.Stats()
+	if st.Timeouts == 0 {
+		t.Errorf("latency injected (%d delays) but no attempt timed out: %+v", src.Delays(), st)
+	}
+	if st.Fetches != n {
+		t.Errorf("Fetches = %d, want %d", st.Fetches, n)
+	}
+}
+
+// TestPagePrefetch verifies the prefetch window fills the cache and that a
+// subsequent sequential fault is served from it.
+func TestPagePrefetch(t *testing.T) {
+	src := &mapSource{}
+	srv, err := ServePages("127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialPageServerOpts(srv.Addr(), PageClientOpts{Prefetch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	base := uint64(100) * mem.PageSize
+	page, err := c.FetchPage(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPage(t, base, page)
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Prefetched < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("prefetch never completed: %+v", c.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	page, err = c.FetchPage(base + mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPage(t, base+mem.PageSize, page)
+	st := c.Stats()
+	if st.PrefetchHits != 1 {
+		t.Errorf("PrefetchHits = %d, want 1", st.PrefetchHits)
+	}
+	// The hit must not have produced a second server round trip for that
+	// page: 1 demand fetch + 3 prefetches.
+	if got := src.Requests(); got != 4 {
+		t.Errorf("source served %d requests, want 4 (1 demand + 3 prefetch)", got)
+	}
+}
+
+func TestPageServerAndClientCloseIdempotent(t *testing.T) {
+	srv, err := ServePages("127.0.0.1:0", &mapSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialPageServer(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("client close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second client close: %v", err)
+	}
+	if _, err := c.FetchPage(0); !errors.Is(err, ErrPageClientClosed) {
+		t.Errorf("fetch after close = %v, want ErrPageClientClosed", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("server close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second server close: %v", err)
+	}
+}
+
+// TestPageServerCloseUnblocksClients: closing the server mid-request must
+// fail the client's fetch (after retries) instead of hanging it.
+func TestPageServerCloseUnblocksClients(t *testing.T) {
+	blocker := make(chan struct{})
+	slow := fetchFunc(func(addr uint64) ([]byte, error) {
+		<-blocker
+		return pagePattern(addr), nil
+	})
+	srv, err := ServePages("127.0.0.1:0", slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialPageServerOpts(srv.Addr(), PageClientOpts{
+		Conns: 1, FetchTimeout: 50 * time.Millisecond, MaxRetries: 1, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.FetchPage(0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("fetch against a stalled server succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fetch hung past its deadline budget")
+	}
+	close(blocker)
+	if err := srv.Close(); err != nil {
+		t.Errorf("close with stalled handler: %v", err)
+	}
+}
+
+type fetchFunc func(addr uint64) ([]byte, error)
+
+func (f fetchFunc) FetchPage(addr uint64) ([]byte, error) { return f(addr) }

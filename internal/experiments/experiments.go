@@ -138,21 +138,25 @@ func MigrateOnce(w workloads.Workload, c workloads.Class, frac float64, lazy boo
 	if err != nil {
 		return nil, err
 	}
-	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{Lazy: lazy})
+	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{Lazy: lazy, LazyTCP: lazy && LazyTCP})
 	if err != nil {
 		return nil, err
 	}
+	defer res.Close()
 	// Finish the run so the lazy page traffic is realized.
 	if lazy {
 		if err := pi.K.Run(res.Proc); err != nil {
 			return nil, fmt.Errorf("post-migration: %w", err)
 		}
-		st := res.Source.Stats()
-		res.Breakdown.LazyFetches = st.Requests
-		res.Breakdown.LazyBytes = st.BytesSent
+		res.FinalizeLazyStats()
 	}
 	return &res.Breakdown, nil
 }
+
+// LazyTCP makes the lazy-migration experiments serve post-copy pages over
+// a real TCP page server (dapper-bench -lazytcp) instead of in-process
+// calls, exercising the resilient transport end to end.
+var LazyTCP bool
 
 // Fig5 regenerates the cross-ISA transformation time breakdown.
 func Fig5(c workloads.Class) (*Table, error) {
@@ -345,10 +349,11 @@ func migrateRediska(c workloads.Class, db uint64, lazy bool) (*cluster.Breakdown
 		}
 	}
 	p.TakeOutput()
-	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{Lazy: lazy})
+	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{Lazy: lazy, LazyTCP: lazy && LazyTCP})
 	if err != nil {
 		return nil, err
 	}
+	defer res.Close()
 	p2 := res.Proc
 	// Query every 10th key to realize post-copy traffic.
 	for k := uint64(0); k < db; k += 10 {
@@ -359,9 +364,7 @@ func migrateRediska(c workloads.Class, db uint64, lazy bool) (*cluster.Breakdown
 		return nil, err
 	}
 	if lazy {
-		st := res.Source.Stats()
-		res.Breakdown.LazyFetches = st.Requests
-		res.Breakdown.LazyBytes = st.BytesSent
+		res.FinalizeLazyStats()
 	}
 	return &res.Breakdown, nil
 }

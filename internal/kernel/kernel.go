@@ -222,6 +222,30 @@ func (k *Kernel) AdoptProcess(p *Process) {
 	k.procs[p.PID] = p
 }
 
+// Reap terminates a process that has been migrated away: SIGSTOP is
+// lifted, every thread is marked exited, and the PID is released. The
+// Process value stays readable (console output, cycle counters) but will
+// never run again. Migration uses this to avoid leaking the paused source
+// process once its pages are no longer needed.
+func (k *Kernel) Reap(p *Process) {
+	p.Stopped = false
+	p.Exited = true
+	for _, t := range p.Threads {
+		t.State = ThreadExited
+	}
+	delete(k.procs, p.PID)
+}
+
+// IsLazyFaultError reports whether err was caused by a failed lazy page
+// fetch — a post-copy transport failure surfaced through the fault
+// handler — rather than an ordinary illegal access. Callers use this to
+// distinguish "the page server became unreachable" from a genuine
+// segfault in the migrated program.
+func IsLazyFaultError(err error) bool {
+	var fe *mem.FaultError
+	return errors.As(err, &fe) && fe.Cause != nil
+}
+
 // NewRestoredProcess builds an empty Process shell for the CRIU restore
 // path; the caller populates the address space and threads, then calls
 // AdoptProcess.

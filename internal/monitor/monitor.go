@@ -73,7 +73,6 @@ func (m *Monitor) Pause(maxPasses int) error {
 				}
 			}
 		}
-		_ = st
 		if m.allParked() {
 			if err := m.validate(); err != nil {
 				return err
