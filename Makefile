@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench
+.PHONY: build vet test race check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,8 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-json regenerates the three-way migration comparison (vanilla vs
+# lazy vs pre-copy) and archives it as machine-readable JSON.
+bench-json:
+	$(GO) run ./cmd/dapper-bench -jsonout BENCH_fig7x.json fig7x

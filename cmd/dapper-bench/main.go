@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("dapper-bench", flag.ContinueOnError)
 	class := fs.String("class", "S", "problem class: S, A, or B")
 	out := fs.String("out", "", "also append markdown tables to this file")
+	jsonOut := fs.String("jsonout", "", "also write the generated tables as a JSON array to this file")
 	lazyTCP := fs.Bool("lazytcp", false, "serve post-copy pages over a real TCP page server (fig7)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -42,19 +44,21 @@ func run(args []string) error {
 		"fig7":  experiments.Fig7,
 		"fig8":  experiments.Fig8,
 		"fig9":  experiments.Fig9,
+		"fig7x": experiments.Fig7x,
 		"fig10": experiments.Fig10,
 		"fig11": experiments.Fig11,
 		"attacks": func(workloads.Class) (*experiments.Table, error) {
 			return experiments.Attacks()
 		},
 	}
-	order := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "attacks"}
+	order := []string{"fig1", "fig5", "fig6", "fig7", "fig7x", "fig8", "fig9", "fig10", "fig11", "attacks"}
 
 	want := fs.Args()
 	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
 		want = order
 	}
 	var md strings.Builder
+	var tables []*experiments.Table
 	for _, id := range want {
 		gen, ok := gens[id]
 		if !ok {
@@ -66,6 +70,16 @@ func run(args []string) error {
 		}
 		fmt.Println(tbl.String())
 		md.WriteString(tbl.Markdown())
+		tables = append(tables, tbl)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
 	if *out != "" {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

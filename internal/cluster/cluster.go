@@ -118,11 +118,32 @@ type Breakdown struct {
 	LazyBytes uint64
 	// LazyFetches counts page-server round trips after restore.
 	LazyFetches uint64
+	// Downtime is the service interruption proper, pause to resume. For
+	// vanilla and lazy migrations it equals Total(); for pre-copy it
+	// covers only the final stop-and-copy delta.
+	Downtime time.Duration
+	// PreCopyTime is time spent on pre-copy rounds while the source keeps
+	// running — part of the migration, not of the interruption.
+	PreCopyTime time.Duration
+	// Rounds counts checkpoints taken: 1 for vanilla/lazy, iterative
+	// rounds plus the final delta for pre-copy.
+	Rounds int
+	// RoundBytes records each pre-copy round's transferred bytes
+	// (including the final delta).
+	RoundBytes []uint64
+	// PreCopyBytes is the total shipped before the final pause.
+	PreCopyBytes uint64
 }
 
 // Total is the service interruption excluding post-copy paging.
 func (b *Breakdown) Total() time.Duration {
 	return b.Checkpoint + b.Recode + b.Copy + b.Restore
+}
+
+// MigrationTime is the end-to-end migration cost: pre-copy rounds (zero
+// for vanilla/lazy) plus the interruption phases.
+func (b *Breakdown) MigrationTime() time.Duration {
+	return b.PreCopyTime + b.Total()
 }
 
 // MigrateOpts controls a migration.
@@ -154,6 +175,10 @@ type MigrateOpts struct {
 	Link *Link
 	// MaxPauses bounds the monitor's wait for equivalence points.
 	MaxPauses int
+	// PreCopy selects iterative pre-copy migration (see precopy.go): the
+	// process keeps running while dirty pages are shipped in rounds, and
+	// pauses only for the final delta. Incompatible with Lazy.
+	PreCopy *PreCopyOpts
 }
 
 // MigrationResult couples the restored process with its costs and any
@@ -254,6 +279,12 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	if recodeNode == nil {
 		recodeNode = fasterNode(src, dst)
 	}
+	if opts.PreCopy != nil {
+		if opts.Lazy {
+			return nil, fmt.Errorf("cluster: pre-copy is incompatible with lazy migration")
+		}
+		return migratePreCopy(src, dst, p, meta, opts, link, recodeNode)
+	}
 
 	var bd Breakdown
 
@@ -272,33 +303,8 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	// chaining a stack shuffle (the destination starts with a fresh
 	// layout).
 	hostStart := time.Now()
-	ctx := &core.Context{Binaries: src.Binaries}
-	if src.Spec.Arch != dst.Spec.Arch {
-		policy := core.CrossISAPolicy{Target: dst.Spec.Arch}
-		if err := policy.Rewrite(dir, ctx); err != nil {
-			return nil, fmt.Errorf("cluster: rewrite: %w", err)
-		}
-	}
-	if opts.Shuffle {
-		// The shuffled binary must be visible on BOTH nodes: register it
-		// into the destination's provider too.
-		pol := core.StackShufflePolicy{Seed: opts.ShuffleSeed}
-		if err := pol.Rewrite(dir, ctx); err != nil {
-			return nil, fmt.Errorf("cluster: shuffle: %w", err)
-		}
-		filesRaw, ok := dir.Get("files.img")
-		if !ok {
-			return nil, fmt.Errorf("cluster: shuffle: image directory missing files.img")
-		}
-		files, err := criu.UnmarshalFiles(filesRaw)
-		if err != nil {
-			return nil, err
-		}
-		bin, err := src.Binaries.Open(files.ExePath)
-		if err != nil {
-			return nil, err
-		}
-		dst.Binaries.Register(files.ExePath, bin)
+	if err := rewriteForDest(dir, src, dst, opts); err != nil {
+		return nil, err
 	}
 	bd.RecodeHost = time.Since(hostStart)
 	bd.Recode = RecodeTime(recodeNode, dir.Size())
@@ -318,6 +324,9 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 		return nil, fmt.Errorf("cluster: restore: %w", err)
 	}
 	bd.Restore = RestoreTime(dir2.Size(), opts.Lazy)
+	// Vanilla and lazy pause the process for the whole pipeline.
+	bd.Downtime = bd.Total()
+	bd.Rounds = 1
 
 	res := &MigrationResult{Proc: p2, Breakdown: bd, srcKernel: src.K, srcProc: p}
 	if !opts.Lazy {
@@ -358,6 +367,41 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	criu.InstallLazyHandler(p2, client)
 	res.pageServer, res.pageClient = srv, client
 	return res, nil
+}
+
+// rewriteForDest runs the recode pipeline on an image directory: the
+// cross-ISA rewrite when the architectures differ, then the optional
+// stack shuffle. Shared by the vanilla/lazy and pre-copy paths.
+func rewriteForDest(dir *criu.ImageDir, src, dst *Node, opts MigrateOpts) error {
+	ctx := &core.Context{Binaries: src.Binaries}
+	if src.Spec.Arch != dst.Spec.Arch {
+		policy := core.CrossISAPolicy{Target: dst.Spec.Arch}
+		if err := policy.Rewrite(dir, ctx); err != nil {
+			return fmt.Errorf("cluster: rewrite: %w", err)
+		}
+	}
+	if opts.Shuffle {
+		// The shuffled binary must be visible on BOTH nodes: register it
+		// into the destination's provider too.
+		pol := core.StackShufflePolicy{Seed: opts.ShuffleSeed}
+		if err := pol.Rewrite(dir, ctx); err != nil {
+			return fmt.Errorf("cluster: shuffle: %w", err)
+		}
+		filesRaw, ok := dir.Get("files.img")
+		if !ok {
+			return fmt.Errorf("cluster: shuffle: image directory missing files.img")
+		}
+		files, err := criu.UnmarshalFiles(filesRaw)
+		if err != nil {
+			return err
+		}
+		bin, err := src.Binaries.Open(files.ExePath)
+		if err != nil {
+			return err
+		}
+		dst.Binaries.Register(files.ExePath, bin)
+	}
+	return nil
 }
 
 func fasterNode(a, b *Node) *Node {

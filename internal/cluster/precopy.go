@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/monitor"
+	"github.com/dapper-sim/dapper/internal/stackmap"
+)
+
+// Pre-copy migration: the third restoration mode next to vanilla and
+// post-copy. The process keeps running while its memory is shipped in
+// iterative rounds — a full incremental-capable dump first, then only the
+// pages dirtied since the previous round (soft-dirty tracking + in_parent
+// images) — and pauses only for the final small delta. The destination
+// flattens the received chain, recodes it, and restores; downtime shrinks
+// from "copy everything" to "copy the last round's working set".
+
+// Pre-copy defaults; see PreCopyOpts.
+const (
+	defaultPreCopyRounds  = 4
+	defaultStopPages      = 16
+	defaultDowntimeTarget = 5 * time.Millisecond
+	defaultRoundBudget    = 1 << 20
+	// quiesceSlices bounds RunUntilIdle: the source must block within this
+	// many budget slices per round.
+	quiesceSlices = 64
+)
+
+// PreCopyOpts tunes iterative pre-copy migration (MigrateOpts.PreCopy).
+type PreCopyOpts struct {
+	// MaxRounds bounds the total number of checkpoints, including the
+	// final stop-and-copy delta (default 4).
+	MaxRounds int
+	// StopPages converges when a round's delta carries at most this many
+	// data pages (default 16).
+	StopPages int
+	// DowntimeTarget is the bandwidth-aware stop rule: when the link could
+	// ship the current delta within this duration, pre-copying further
+	// rounds cannot improve downtime, so stop (default 5ms).
+	DowntimeTarget time.Duration
+	// RoundBudget is the guest-cycle budget the source runs for between
+	// rounds (default 1Mi cycles).
+	RoundBudget uint64
+	// RunUntilIdle keeps running budget slices between rounds until the
+	// source blocks with its input drained — required for servers, whose
+	// input queue is not part of the checkpoint: a pause with requests
+	// still queued would lose them.
+	RunUntilIdle bool
+	// BetweenRounds, if set, is called after each resume (before the
+	// between-round run) — the hook experiments use to keep traffic
+	// arriving at the source while rounds are in flight.
+	BetweenRounds func(p *kernel.Process, round int)
+	// TCP ships each round's images over the real ImageReceiver transport
+	// instead of in-process marshaling.
+	TCP bool
+}
+
+func (pc PreCopyOpts) withDefaults() PreCopyOpts {
+	if pc.MaxRounds <= 0 {
+		pc.MaxRounds = defaultPreCopyRounds
+	}
+	if pc.StopPages <= 0 {
+		pc.StopPages = defaultStopPages
+	}
+	if pc.DowntimeTarget <= 0 {
+		pc.DowntimeTarget = defaultDowntimeTarget
+	}
+	if pc.RoundBudget == 0 {
+		pc.RoundBudget = defaultRoundBudget
+	}
+	return pc
+}
+
+// migratePreCopy is the iterative path behind MigrateOpts.PreCopy.
+func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts MigrateOpts, link *Link, recodeNode *Node) (*MigrationResult, error) {
+	pc := opts.PreCopy.withDefaults()
+	var bd Breakdown
+	mon := monitor.New(src.K, p, meta)
+
+	var recv *ImageReceiver
+	if pc.TCP {
+		r, err := ListenImages("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: pre-copy: %w", err)
+		}
+		recv = r
+		defer recv.Close()
+	}
+	// ship moves one round's images to the destination and returns the
+	// directory as the destination sees it plus the payload size.
+	ship := func(dir *criu.ImageDir) (*criu.ImageDir, uint64, error) {
+		if !pc.TCP {
+			blob := dir.Marshal()
+			d2, err := criu.UnmarshalImageDir(blob)
+			return d2, uint64(len(blob)), err
+		}
+		n, err := SendImages(recv.Addr(), dir)
+		if err != nil {
+			return nil, 0, fmt.Errorf("cluster: pre-copy send: %w", err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if d := recv.Take(); d != nil {
+				return d, n, nil
+			}
+			if time.Now().After(deadline) {
+				return nil, 0, fmt.Errorf("cluster: pre-copy: image receiver timed out (%d malformed transfers)", recv.Errors())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	var chain []*criu.ImageDir // destination-side copies, oldest first
+	var parent *criu.ImageDir  // source-side previous dump
+	var finalBytes uint64
+	prevPages := -1
+	idle := false
+	for round := 0; ; round++ {
+		if err := mon.Pause(opts.MaxPauses); err != nil {
+			return nil, fmt.Errorf("cluster: pre-copy pause (round %d): %w", round, err)
+		}
+		dir, err := criu.Dump(p, criu.DumpOpts{Parent: parent, TrackMem: true})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: pre-copy dump (round %d): %w", round, err)
+		}
+		dataPages := criu.DumpedPages(dir)
+		got, n, err := ship(dir)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, got)
+		parent = dir
+		bd.RoundBytes = append(bd.RoundBytes, n)
+		ck := CheckpointTime(dir.Size())
+		xfer := link.TransferTime(n)
+
+		// Convergence: the first round always pre-copies (unless MaxRounds
+		// forbids more); afterwards stop when the delta is small enough,
+		// cheap enough to ship within the downtime target, no longer
+		// shrinking, or the source has quiesced.
+		final := round+1 >= pc.MaxRounds || idle
+		if round >= 1 && !final {
+			final = dataPages <= pc.StopPages ||
+				link.TransferTime(uint64(dataPages)*mem.PageSize) <= pc.DowntimeTarget ||
+				(prevPages >= 0 && dataPages >= prevPages)
+		}
+		prevPages = dataPages
+		if final {
+			bd.Checkpoint = ck
+			bd.Copy = xfer
+			bd.Rounds = round + 1
+			finalBytes = n
+			break
+		}
+		// Not converged: this round's cost overlaps with execution.
+		bd.PreCopyTime += ck + xfer + RecodePagesTime(recodeNode, n)
+		bd.PreCopyBytes += n
+		if err := mon.ResumeLocal(); err != nil {
+			return nil, fmt.Errorf("cluster: pre-copy resume (round %d): %w", round, err)
+		}
+		if pc.BetweenRounds != nil {
+			pc.BetweenRounds(p, round)
+		}
+		slices := 1
+		if pc.RunUntilIdle {
+			slices = quiesceSlices
+		}
+		for i := 0; i < slices; i++ {
+			alive, err := src.K.RunBudget(p, pc.RoundBudget)
+			if err != nil {
+				if errors.Is(err, kernel.ErrDeadlock) {
+					// Blocked with input drained: nothing left to dirty.
+					if pc.BetweenRounds == nil {
+						idle = true
+					}
+					break
+				}
+				return nil, fmt.Errorf("cluster: pre-copy run (round %d): %w", round, err)
+			}
+			if !alive {
+				return nil, fmt.Errorf("cluster: pre-copy: process exited during round %d", round)
+			}
+			if !pc.RunUntilIdle {
+				break
+			}
+			if i == slices-1 {
+				return nil, fmt.Errorf("cluster: pre-copy: source did not quiesce in round %d", round)
+			}
+		}
+	}
+
+	// Final delta in hand and the source still paused: flatten the chain
+	// on the destination, recode, restore.
+	flat, err := criu.FlattenChain(chain)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: pre-copy flatten: %w", err)
+	}
+	hostStart := time.Now()
+	if err := rewriteForDest(flat, src, dst, opts); err != nil {
+		return nil, err
+	}
+	bd.RecodeHost = time.Since(hostStart)
+	// Earlier rounds were recoded as they streamed in (PreCopyTime); the
+	// pause pays the per-image stack rewrite plus the final delta's pages.
+	bd.Recode = RecodeTime(recodeNode, finalBytes)
+	p2, err := criu.Restore(dst.K, flat, dst.Binaries)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: pre-copy restore: %w", err)
+	}
+	bd.Restore = RestoreTime(flat.Size(), false)
+	bd.Downtime = bd.Checkpoint + bd.Recode + bd.Copy + bd.Restore
+	bd.ImageBytes = bd.PreCopyBytes + finalBytes
+
+	res := &MigrationResult{Proc: p2, Breakdown: bd, srcKernel: src.K, srcProc: p}
+	// Everything lives on the destination now; nothing faults back.
+	src.K.Reap(p)
+	return res, nil
+}

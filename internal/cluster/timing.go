@@ -61,6 +61,17 @@ func RecodeTime(n *Node, bytes uint64) time.Duration {
 	return time.Duration(s * float64(time.Second))
 }
 
+// RecodePagesTime models just the page-translation half of the rewrite —
+// the per-byte work pre-copy overlaps with execution by streaming each
+// round's pages to the rewriter as they arrive. The per-image base cost
+// (stack unwinding needs the final register state) stays in the downtime
+// window; see RecodeTime.
+func RecodePagesTime(n *Node, bytes uint64) time.Duration {
+	cycles := recodeCyclesPerByte * float64(bytes)
+	s := cycles / (n.Spec.ClockHz * n.Spec.IPC)
+	return time.Duration(s * float64(time.Second))
+}
+
 // RestoreTime models the restore cost.
 func RestoreTime(bytes uint64, lazy bool) time.Duration {
 	if lazy {

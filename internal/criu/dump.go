@@ -18,6 +18,17 @@ type DumpOpts struct {
 	// lazy-migration that additionally dumps the stack pages so
 	// cross-architecture rewriting still works.
 	Lazy bool
+	// Parent makes the dump incremental (CRIU's --prev-images-dir): pages
+	// unchanged since the parent checkpoint — per the soft-dirty tracker —
+	// become in_parent pagemap entries with no bytes. Parent must be the
+	// directory produced by the previous dump of the same process, taken
+	// with TrackMem so tracking covered the interval. Incompatible with
+	// Lazy.
+	Parent *ImageDir
+	// TrackMem re-arms soft-dirty tracking once the pages are collected
+	// (CRIU's --track-mem), so the next Dump can pass this directory as
+	// Parent.
+	TrackMem bool
 }
 
 // CoreName returns the core image filename for a thread.
@@ -28,6 +39,25 @@ func CoreName(tid int) string { return "core-" + strconv.Itoa(tid) + ".img" }
 func Dump(p *kernel.Process, opts DumpOpts) (*ImageDir, error) {
 	if !p.Stopped {
 		return nil, fmt.Errorf("criu: process %d not stopped (send SIGSTOP first)", p.PID)
+	}
+	if opts.Parent != nil && opts.Lazy {
+		return nil, fmt.Errorf("criu: incremental dumps are incompatible with lazy dumps")
+	}
+	var dirty map[uint64]bool
+	var inParent map[uint64]bool
+	if opts.Parent != nil {
+		if !p.DirtyTracking() {
+			return nil, fmt.Errorf("criu: incremental dump of pid %d without dirty tracking (take the parent dump with TrackMem)", p.PID)
+		}
+		dirty = make(map[uint64]bool)
+		for _, idx := range p.CollectDirty() {
+			dirty[idx] = true
+		}
+		var err error
+		inParent, err = CoveredPages(opts.Parent)
+		if err != nil {
+			return nil, fmt.Errorf("criu: parent images: %w", err)
+		}
 	}
 	dir := NewImageDir()
 	inv := &InventoryImage{Arch: p.Arch}
@@ -62,7 +92,7 @@ func Dump(p *kernel.Process, opts DumpOpts) (*ImageDir, error) {
 
 	dir.Put("files.img", (&FilesImage{ExePath: p.ExePath}).Marshal())
 
-	ps := &PageSet{Pages: make(map[uint64][]byte), LazyPages: make(map[uint64]bool)}
+	ps := NewPageSet()
 	execPages := execContextPages(p)
 	for _, idx := range p.AS.PopulatedPages() {
 		addr := idx * mem.PageSize
@@ -85,13 +115,36 @@ func Dump(p *kernel.Process, opts DumpOpts) (*ImageDir, error) {
 			ps.LazyPages[addr] = true
 			continue
 		}
+		if opts.Parent != nil && inParent[addr] && !dirty[idx] {
+			// Unchanged since the parent checkpoint: the chain holds it.
+			ps.ParentPages[addr] = true
+			continue
+		}
 		data, _ := p.AS.PageData(idx)
+		if allZero(data) {
+			ps.ZeroPages[addr] = true
+			continue
+		}
 		pg := make([]byte, mem.PageSize)
 		copy(pg, data)
 		ps.Pages[addr] = pg
 	}
 	ps.Store(dir)
+	if opts.TrackMem {
+		p.StartDirtyTracking()
+	}
 	return dir, nil
+}
+
+// allZero reports whether a page's bytes are all zero (the zero pagemap
+// flag: such pages restore demand-zero and need no bytes in pages.img).
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // execContextPages returns the page addresses holding each live thread's

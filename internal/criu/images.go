@@ -160,11 +160,17 @@ func UnmarshalMM(b []byte) (*MMImage, error) {
 
 // PagemapEntry describes a run of pages. Lazy entries have no bytes in
 // pages.img; their content stays on the source node and is served on
-// demand by the page server (post-copy migration).
+// demand by the page server (post-copy migration). InParent entries
+// (incremental dumps, CRIU's in_parent flag) carry no bytes either: the
+// content is unchanged since the parent checkpoint and resolves through
+// the chain. Zero entries mark all-zero pages whose bytes are elided;
+// restore leaves them demand-zero.
 type PagemapEntry struct {
-	Vaddr   uint64 `json:"vaddr"`
-	NrPages uint32 `json:"nrPages"`
-	Lazy    bool   `json:"lazy,omitempty"`
+	Vaddr    uint64 `json:"vaddr"`
+	NrPages  uint32 `json:"nrPages"`
+	Lazy     bool   `json:"lazy,omitempty"`
+	InParent bool   `json:"inParent,omitempty"`
+	Zero     bool   `json:"zero,omitempty"`
 }
 
 // PagemapImage is pagemap.img: the index into pages.img.
@@ -180,6 +186,8 @@ func (p *PagemapImage) Marshal() []byte {
 			n.Fixed64(1, en.Vaddr)
 			n.Uint64(2, uint64(en.NrPages))
 			n.Bool(3, en.Lazy)
+			n.Bool(4, en.InParent)
+			n.Bool(5, en.Zero)
 		})
 	}
 	return e.Bytes()
@@ -206,6 +214,14 @@ func UnmarshalPagemap(b []byte) (*PagemapImage, error) {
 			case 3:
 				v, err := nd.FieldBool()
 				en.Lazy = v
+				return err
+			case 4:
+				v, err := nd.FieldBool()
+				en.InParent = v
+				return err
+			case 5:
+				v, err := nd.FieldBool()
+				en.Zero = v
 				return err
 			}
 			return nil
@@ -416,6 +432,36 @@ type PageSet struct {
 	Pages map[uint64][]byte
 	// LazyPages records pages left on the source node.
 	LazyPages map[uint64]bool
+	// ParentPages records pages whose content is unchanged since the
+	// parent checkpoint (incremental dumps); resolve with FlattenChain
+	// before restoring or rewriting.
+	ParentPages map[uint64]bool
+	// ZeroPages records all-zero pages carried by the pagemap alone.
+	ZeroPages map[uint64]bool
+}
+
+// Page classes for the pagemap run coalescer.
+const (
+	pageData = iota
+	pageZero
+	pageParent
+	pageLazy
+)
+
+// classOf reports how the page at a is represented. Data beats the flag
+// maps; a nil entry in Pages keeps its historical "lazy" meaning.
+func (ps *PageSet) classOf(a uint64) int {
+	if pg, ok := ps.Pages[a]; ok && pg != nil {
+		return pageData
+	}
+	switch {
+	case ps.ZeroPages[a]:
+		return pageZero
+	case ps.ParentPages[a]:
+		return pageParent
+	default:
+		return pageLazy
+	}
 }
 
 // LoadPageSet parses the pagemap/pages pair from a directory.
@@ -429,13 +475,20 @@ func LoadPageSet(dir *ImageDir) (*PageSet, error) {
 		return nil, err
 	}
 	pages, _ := dir.Get("pages.img")
-	ps := &PageSet{Pages: make(map[uint64][]byte), LazyPages: make(map[uint64]bool)}
+	ps := NewPageSet()
 	off := 0
 	for _, en := range pm.Entries {
 		for i := uint32(0); i < en.NrPages; i++ {
 			addr := en.Vaddr + uint64(i)*mem.PageSize
-			if en.Lazy {
+			switch {
+			case en.Lazy:
 				ps.LazyPages[addr] = true
+				continue
+			case en.InParent:
+				ps.ParentPages[addr] = true
+				continue
+			case en.Zero:
+				ps.ZeroPages[addr] = true
 				continue
 			}
 			if off+mem.PageSize > len(pages) {
@@ -450,46 +503,79 @@ func LoadPageSet(dir *ImageDir) (*PageSet, error) {
 	return ps, nil
 }
 
-// Store serializes the page set back into the directory, coalescing runs.
-func (ps *PageSet) Store(dir *ImageDir) {
-	addrs := make([]uint64, 0, len(ps.Pages)+len(ps.LazyPages))
-	for a := range ps.Pages {
-		addrs = append(addrs, a)
+// NewPageSet returns an empty page set with all maps allocated.
+func NewPageSet() *PageSet {
+	return &PageSet{
+		Pages:       make(map[uint64][]byte),
+		LazyPages:   make(map[uint64]bool),
+		ParentPages: make(map[uint64]bool),
+		ZeroPages:   make(map[uint64]bool),
 	}
-	for a := range ps.LazyPages {
-		if _, dup := ps.Pages[a]; !dup {
+}
+
+// Store serializes the page set back into the directory, coalescing
+// contiguous same-class (data/lazy/in_parent/zero) runs.
+func (ps *PageSet) Store(dir *ImageDir) {
+	seen := make(map[uint64]bool, len(ps.Pages))
+	addrs := make([]uint64, 0, len(ps.Pages)+len(ps.LazyPages)+len(ps.ParentPages)+len(ps.ZeroPages))
+	add := func(a uint64) {
+		if !seen[a] {
+			seen[a] = true
 			addrs = append(addrs, a)
 		}
+	}
+	for a := range ps.Pages {
+		add(a)
+	}
+	for a := range ps.LazyPages {
+		add(a)
+	}
+	for a := range ps.ParentPages {
+		add(a)
+	}
+	for a := range ps.ZeroPages {
+		add(a)
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	var pm PagemapImage
 	var blob []byte
 	for i := 0; i < len(addrs); {
 		a := addrs[i]
-		lazy := ps.Pages[a] == nil
+		cls := ps.classOf(a)
 		j := i
-		for j < len(addrs) && addrs[j] == a+uint64(j-i)*mem.PageSize && (ps.Pages[addrs[j]] == nil) == lazy {
-			if !lazy {
+		for j < len(addrs) && addrs[j] == a+uint64(j-i)*mem.PageSize && ps.classOf(addrs[j]) == cls {
+			if cls == pageData {
 				blob = append(blob, ps.Pages[addrs[j]]...)
 			}
 			j++
 		}
-		pm.Entries = append(pm.Entries, PagemapEntry{Vaddr: a, NrPages: uint32(j - i), Lazy: lazy})
+		pm.Entries = append(pm.Entries, PagemapEntry{
+			Vaddr: a, NrPages: uint32(j - i),
+			Lazy: cls == pageLazy, InParent: cls == pageParent, Zero: cls == pageZero,
+		})
 		i = j
 	}
 	dir.Put("pagemap.img", pm.Marshal())
 	dir.Put("pages.img", blob)
 }
 
-// ReadU64 reads a word from the page set (for the stack rewriter).
+// ReadU64 reads a word from the page set (for the stack rewriter). Zero
+// pages read as zero; lazy and in_parent pages have no local bytes.
 func (ps *PageSet) ReadU64(addr uint64) (uint64, error) {
-	pg, ok := ps.Pages[addr/mem.PageSize*mem.PageSize]
-	if !ok || pg == nil {
-		return 0, fmt.Errorf("criu: address 0x%x not in dumped pages", addr)
-	}
+	base := addr / mem.PageSize * mem.PageSize
 	off := addr % mem.PageSize
 	if off+8 > mem.PageSize {
 		return 0, fmt.Errorf("criu: unaligned word read at 0x%x crosses page", addr)
+	}
+	pg, ok := ps.Pages[base]
+	if !ok || pg == nil {
+		if ps.ZeroPages[base] {
+			return 0, nil
+		}
+		if ps.ParentPages[base] {
+			return 0, fmt.Errorf("criu: address 0x%x is in the parent checkpoint (flatten the chain first)", addr)
+		}
+		return 0, fmt.Errorf("criu: address 0x%x not in dumped pages", addr)
 	}
 	var v uint64
 	for i := 7; i >= 0; i-- {
@@ -498,14 +584,21 @@ func (ps *PageSet) ReadU64(addr uint64) (uint64, error) {
 	return v, nil
 }
 
-// WriteU64 writes a word, populating the page if absent.
+// WriteU64 writes a word, populating the page if absent (zero pages
+// materialize as zeros). Writing into an in_parent page is an error: the
+// local set does not hold its content, so the chain must be flattened
+// first.
 func (ps *PageSet) WriteU64(addr, v uint64) error {
 	base := addr / mem.PageSize * mem.PageSize
 	pg, ok := ps.Pages[base]
 	if !ok || pg == nil {
+		if ps.ParentPages[base] {
+			return fmt.Errorf("criu: write at 0x%x hits an in-parent page (flatten the chain first)", addr)
+		}
 		pg = make([]byte, mem.PageSize)
 		ps.Pages[base] = pg
 		delete(ps.LazyPages, base)
+		delete(ps.ZeroPages, base)
 	}
 	off := addr % mem.PageSize
 	if off+8 > mem.PageSize {
@@ -529,12 +622,25 @@ func (ps *PageSet) DropRange(start, end uint64) {
 			delete(ps.LazyPages, a)
 		}
 	}
+	for a := range ps.ParentPages {
+		if a >= start && a < end {
+			delete(ps.ParentPages, a)
+		}
+	}
+	for a := range ps.ZeroPages {
+		if a >= start && a < end {
+			delete(ps.ZeroPages, a)
+		}
+	}
 }
 
 // InstallPage sets a page's full contents.
 func (ps *PageSet) InstallPage(addr uint64, data []byte) {
 	pg := make([]byte, mem.PageSize)
 	copy(pg, data)
-	ps.Pages[addr/mem.PageSize*mem.PageSize] = pg
-	delete(ps.LazyPages, addr/mem.PageSize*mem.PageSize)
+	base := addr / mem.PageSize * mem.PageSize
+	ps.Pages[base] = pg
+	delete(ps.LazyPages, base)
+	delete(ps.ParentPages, base)
+	delete(ps.ZeroPages, base)
 }

@@ -1,0 +1,111 @@
+package criu
+
+import (
+	"fmt"
+
+	"github.com/dapper-sim/dapper/internal/mem"
+)
+
+// Incremental checkpoint chains (pre-copy migration). Each dump taken with
+// DumpOpts.Parent records unchanged pages as in_parent entries; the chain
+// is resolved newest-wins into a single self-contained directory before
+// restore, mirroring CRIU's parent-image directories.
+
+// CoveredPages returns every page address the directory's pagemap
+// mentions, regardless of entry kind. Because each dump in a chain emits
+// an entry (data, zero, or in_parent) for every dumpable resident page,
+// an address covered by the immediate parent is — by induction — always
+// resolvable through the chain.
+func CoveredPages(dir *ImageDir) (map[uint64]bool, error) {
+	pmRaw, ok := dir.Get("pagemap.img")
+	if !ok {
+		return nil, fmt.Errorf("criu: missing pagemap.img")
+	}
+	pm, err := UnmarshalPagemap(pmRaw)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]bool)
+	for _, en := range pm.Entries {
+		for i := uint32(0); i < en.NrPages; i++ {
+			out[en.Vaddr+uint64(i)*mem.PageSize] = true
+		}
+	}
+	return out, nil
+}
+
+// DumpedPages returns the number of pages whose bytes the directory
+// actually carries (the data pages of pages.img) — the size of a
+// pre-copy round's delta, which the convergence heuristics watch.
+func DumpedPages(dir *ImageDir) int {
+	raw, _ := dir.Get("pages.img")
+	return len(raw) / mem.PageSize
+}
+
+// FlattenChain squashes an incremental checkpoint chain — ordered oldest
+// (the full parent) to newest (the final delta) — into one self-contained
+// directory. Non-page images come from the newest dump; each page address
+// in the newest pagemap resolves newest-wins down the chain. The result
+// restores exactly as a full dump taken at the newest checkpoint would.
+func FlattenChain(chain []*ImageDir) (*ImageDir, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("criu: empty checkpoint chain")
+	}
+	sets := make([]*PageSet, len(chain))
+	for i, dir := range chain {
+		ps, err := LoadPageSet(dir)
+		if err != nil {
+			return nil, fmt.Errorf("criu: chain link %d: %w", i, err)
+		}
+		sets[i] = ps
+	}
+	newest := sets[len(sets)-1]
+	out := NewPageSet()
+	resolve := func(addr uint64) error {
+		for i := len(sets) - 1; i >= 0; i-- {
+			ps := sets[i]
+			if pg, ok := ps.Pages[addr]; ok && pg != nil {
+				out.Pages[addr] = pg
+				return nil
+			}
+			switch {
+			case ps.ZeroPages[addr]:
+				out.ZeroPages[addr] = true
+				return nil
+			case ps.LazyPages[addr]:
+				out.LazyPages[addr] = true
+				return nil
+			case ps.ParentPages[addr]:
+				continue // defer to the next-older link
+			}
+			break
+		}
+		return fmt.Errorf("criu: page 0x%x marked in_parent but absent from the chain", addr)
+	}
+	for addr := range newest.Pages {
+		out.Pages[addr] = newest.Pages[addr]
+	}
+	for addr := range newest.ZeroPages {
+		out.ZeroPages[addr] = true
+	}
+	for addr := range newest.LazyPages {
+		out.LazyPages[addr] = true
+	}
+	for addr := range newest.ParentPages {
+		if err := resolve(addr); err != nil {
+			return nil, err
+		}
+	}
+
+	flat := NewImageDir()
+	last := chain[len(chain)-1]
+	for _, name := range last.Names() {
+		if name == "pagemap.img" || name == "pages.img" {
+			continue
+		}
+		raw, _ := last.Get(name)
+		flat.Put(name, raw)
+	}
+	out.Store(flat)
+	return flat, nil
+}

@@ -1,0 +1,400 @@
+package criu_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/monitor"
+)
+
+// denseWriter keeps rewriting a sliding window of a big array; sparseWriter
+// strides across it so most rounds dirty disjoint pages.
+// Equivalence points live at function entry, so the per-round work sits in
+// a callee — that is what lets the monitor pause between rounds.
+const denseWriter = `
+var data[8192] int;
+var sink int;
+func fill(round int) {
+	var i int;
+	for i = 0; i < 512; i = i + 1 {
+		data[(round * 67 + i) % 8192] = round * 10000 + i;
+	}
+}
+func main() {
+	var round int;
+	for round = 0; round < 64; round = round + 1 {
+		fill(round);
+		sink = sink + 1;
+	}
+	printi(sink);
+}`
+
+// sparseWriter advances a small (~2-page) window per outer round, so later
+// deltas are much smaller than the accumulated resident set.
+const sparseWriter = `
+var data[16384] int;
+var sum int;
+func touch(round int) {
+	var i int;
+	for i = 0; i < 96; i = i + 1 {
+		data[(round * 331 + i) % 16384] = round + i;
+		sum = sum + data[(round * 131) % 16384];
+	}
+}
+func main() {
+	var round int;
+	for round = 0; round < 48; round = round + 1 {
+		touch(round);
+	}
+	printi(sum);
+}`
+
+// buildChain runs the program in budget slices, taking a TrackMem full dump
+// first and an incremental dump (Parent = previous) after each slice. It
+// returns the chain plus the still-paused process and its monitor.
+func buildChain(t *testing.T, src string, arch isa.Arch, rounds int, budget uint64) ([]*criu.ImageDir, *kernel.Process) {
+	t.Helper()
+	pair, err := compiler.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(kernel.Config{Cores: 2, Quantum: 97})
+	p, err := k.StartProcess(pair.ByArch(arch).LoadSpec("/bin/inc." + arch.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.RunBudget(p, budget); err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(k, p, pair.Meta)
+	if err := mon.Pause(1 << 20); err != nil {
+		t.Fatalf("pause 0: %v", err)
+	}
+	base, err := criu.Dump(p, criu.DumpOpts{TrackMem: true})
+	if err != nil {
+		t.Fatalf("base dump: %v", err)
+	}
+	chain := []*criu.ImageDir{base}
+	for r := 1; r <= rounds; r++ {
+		if err := mon.ResumeLocal(); err != nil {
+			t.Fatalf("resume %d: %v", r, err)
+		}
+		alive, err := k.RunBudget(p, budget)
+		if err != nil {
+			t.Fatalf("run %d: %v", r, err)
+		}
+		if !alive {
+			t.Fatalf("program finished before round %d; shrink the budget", r)
+		}
+		if err := mon.Pause(1 << 20); err != nil {
+			t.Fatalf("pause %d: %v", r, err)
+		}
+		delta, err := criu.Dump(p, criu.DumpOpts{Parent: chain[len(chain)-1], TrackMem: true})
+		if err != nil {
+			t.Fatalf("delta dump %d: %v", r, err)
+		}
+		chain = append(chain, delta)
+	}
+	return chain, p
+}
+
+// resolvedPages flattens a self-contained directory's page view: data pages
+// by content, zero pages as zero content.
+func resolvedPages(t *testing.T, dir *criu.ImageDir) map[uint64][]byte {
+	t.Helper()
+	ps, err := criu.LoadPageSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.ParentPages) > 0 {
+		t.Fatalf("directory still has %d in_parent pages", len(ps.ParentPages))
+	}
+	if len(ps.LazyPages) > 0 {
+		t.Fatalf("unexpected lazy pages: %d", len(ps.LazyPages))
+	}
+	zero := make([]byte, mem.PageSize)
+	out := make(map[uint64][]byte, len(ps.Pages)+len(ps.ZeroPages))
+	for a, pg := range ps.Pages {
+		out[a] = pg
+	}
+	for a := range ps.ZeroPages {
+		out[a] = zero
+	}
+	return out
+}
+
+// TestIncrementalChainMatchesFullDump is the headline property test: across
+// workloads, architectures, chain lengths, and checkpoint spacings, the
+// flattened incremental chain must be page-for-page identical to a single
+// full dump taken at the final pause.
+func TestIncrementalChainMatchesFullDump(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		arch   isa.Arch
+		rounds int
+		budget uint64
+	}{
+		{"dense-x86-2x9k", denseWriter, isa.SX86, 2, 9_000},
+		{"dense-x86-4x23k", denseWriter, isa.SX86, 4, 23_000},
+		{"dense-arm-3x14k", denseWriter, isa.SARM, 3, 14_000},
+		{"sparse-x86-3x7k", sparseWriter, isa.SX86, 3, 7_000},
+		{"sparse-arm-2x31k", sparseWriter, isa.SARM, 2, 31_000},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			chain, p := buildChain(t, tc.src, tc.arch, tc.rounds, tc.budget)
+			full, err := criu.Dump(p, criu.DumpOpts{})
+			if err != nil {
+				t.Fatalf("reference full dump: %v", err)
+			}
+			flat, err := criu.FlattenChain(chain)
+			if err != nil {
+				t.Fatalf("flatten: %v", err)
+			}
+			want := resolvedPages(t, full)
+			got := resolvedPages(t, flat)
+			if len(got) != len(want) {
+				t.Errorf("flattened chain resolves %d pages, full dump has %d", len(got), len(want))
+			}
+			for a, w := range want {
+				g, ok := got[a]
+				if !ok {
+					t.Errorf("page 0x%x missing from flattened chain", a)
+					continue
+				}
+				if !bytes.Equal(g, w) {
+					t.Errorf("page 0x%x differs between chain and full dump", a)
+				}
+			}
+			// Non-page images must come from the final pause verbatim.
+			for _, name := range full.Names() {
+				if name == "pagemap.img" || name == "pages.img" {
+					continue
+				}
+				w, _ := full.Get(name)
+				g, ok := flat.Get(name)
+				if !ok || !bytes.Equal(g, w) {
+					t.Errorf("image %s differs between chain head and full dump", name)
+				}
+			}
+			// The deltas must actually be incremental: each one carries
+			// fewer data pages than the full dump of the final state, and
+			// defers at least some pages to its parent.
+			fullPages := criu.DumpedPages(full)
+			for i, d := range chain[1:] {
+				if n := criu.DumpedPages(d); n >= fullPages {
+					t.Errorf("delta %d dumped %d pages, full dump only %d", i+1, n, fullPages)
+				}
+				cov, err := criu.CoveredPages(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n := criu.DumpedPages(d); len(cov) == n {
+					t.Errorf("delta %d has no in_parent/zero entries", i+1)
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalChainFlakyFinalDelta re-fetches the final delta's data
+// pages through the fault-injected TCP page transport — the "final delta
+// transfer over a bad link" scenario — and requires the flattened result to
+// stay byte-identical.
+func TestIncrementalChainFlakyFinalDelta(t *testing.T) {
+	chain, _ := buildChain(t, denseWriter, isa.SX86, 3, 11_000)
+	final := chain[len(chain)-1]
+	ps, err := criu.LoadPageSet(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve the final delta's data pages behind injected faults.
+	src := pageFunc(func(addr uint64) ([]byte, error) {
+		pg, ok := ps.Pages[addr]
+		if !ok {
+			return nil, fmt.Errorf("page 0x%x not in final delta", addr)
+		}
+		return pg, nil
+	})
+	flaky := criu.NewFlakySource(src, criu.FaultSpec{Seed: 41, FailRate: 0.4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := criu.ServePagesOn(ln, flaky)
+	defer srv.Close()
+	client, err := criu.DialPageServerOpts(srv.Addr(), criu.PageClientOpts{MaxRetries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Rebuild the delta from fetched pages, keeping the flag-only entries.
+	rebuilt := criu.NewPageSet()
+	for a := range ps.ParentPages {
+		rebuilt.ParentPages[a] = true
+	}
+	for a := range ps.ZeroPages {
+		rebuilt.ZeroPages[a] = true
+	}
+	for a := range ps.Pages {
+		pg, err := client.FetchPage(a)
+		if err != nil {
+			t.Fatalf("fetch 0x%x through flaky transport: %v", a, err)
+		}
+		rebuilt.Pages[a] = pg
+	}
+	fetched := criu.NewImageDir()
+	for _, name := range final.Names() {
+		if name == "pagemap.img" || name == "pages.img" {
+			continue
+		}
+		raw, _ := final.Get(name)
+		fetched.Put(name, raw)
+	}
+	rebuilt.Store(fetched)
+
+	wantFlat, err := criu.FlattenChain(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFlat, err := criu.FlattenChain(append(append([]*criu.ImageDir{}, chain[:len(chain)-1]...), fetched))
+	if err != nil {
+		t.Fatalf("flatten with fetched delta: %v", err)
+	}
+	want := resolvedPages(t, wantFlat)
+	got := resolvedPages(t, gotFlat)
+	if len(got) != len(want) {
+		t.Fatalf("fetched-delta chain resolves %d pages, want %d", len(got), len(want))
+	}
+	for a, w := range want {
+		if !bytes.Equal(got[a], w) {
+			t.Errorf("page 0x%x corrupted by flaky transfer", a)
+		}
+	}
+	if flaky.Failures() == 0 {
+		t.Error("fault injector never fired; the test exercised nothing")
+	}
+}
+
+// TestIncrementalDumpGuards covers the misuse errors.
+func TestIncrementalDumpGuards(t *testing.T) {
+	chain, p := buildChain(t, denseWriter, isa.SX86, 1, 9_000)
+	if _, err := criu.Dump(p, criu.DumpOpts{Parent: chain[0], Lazy: true}); err == nil {
+		t.Error("incremental+lazy dump succeeded")
+	}
+	p.StopDirtyTracking()
+	if _, err := criu.Dump(p, criu.DumpOpts{Parent: chain[0]}); err == nil {
+		t.Error("incremental dump without tracking succeeded")
+	}
+	// An unflattened delta must not restore, even with the binary at hand.
+	pair, err := compiler.Compile(denseWriter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(kernel.Config{})
+	prov := criu.MapProvider{"/bin/inc.sx86": pair.X86}
+	if _, err := criu.Restore(k, chain[1], prov); err == nil || !strings.Contains(err.Error(), "in_parent") {
+		t.Errorf("restore of raw delta: %v", err)
+	}
+	if _, err := criu.FlattenChain(nil); err == nil {
+		t.Error("flatten of empty chain succeeded")
+	}
+	// A chain missing its base cannot resolve.
+	if _, err := criu.FlattenChain(chain[1:]); err == nil {
+		t.Error("flatten of truncated chain succeeded")
+	}
+}
+
+// TestZeroPagesElided: an all-zero resident page travels as a pagemap-only
+// zero entry (visible in CRIT), carries no bytes, and restores correctly.
+func TestZeroPagesElided(t *testing.T) {
+	src := `
+var data[4096] int;
+var i int;
+func keep() {
+	data[5] = 9;
+}
+func main() {
+	data[2000] = 7;
+	data[2000] = 0;
+	data[5] = 9;
+	for i = 0; i < 2000; i = i + 1 { keep(); }
+	printi(data[5]);
+}`
+	pair, err := compiler.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Native reference.
+	kn := kernel.New(kernel.Config{})
+	pn, err := kn.StartProcess(pair.X86.LoadSpec("/bin/z.sx86"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kn.Run(pn); err != nil {
+		t.Fatal(err)
+	}
+	want := pn.ConsoleString()
+
+	k := kernel.New(kernel.Config{})
+	p, err := k.StartProcess(pair.X86.LoadSpec("/bin/z.sx86"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.RunBudget(p, 30_000); err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(k, p, pair.Meta)
+	if err := mon.Pause(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := criu.Dump(p, criu.DumpOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := criu.LoadPageSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.ZeroPages) == 0 {
+		t.Fatal("no zero entries in the pagemap; data[2000]'s page was expected to be elided")
+	}
+	for a := range ps.ZeroPages {
+		if _, dup := ps.Pages[a]; dup {
+			t.Errorf("page 0x%x is both zero and data", a)
+		}
+	}
+	// CRIT shows the flag.
+	js, err := criu.DecodeJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), `"zero": true`) {
+		t.Error("CRIT JSON does not surface the zero flag")
+	}
+	// And the image still restores to the identical run.
+	k2 := kernel.New(kernel.Config{})
+	prov := criu.MapProvider{"/bin/z.sx86": pair.X86}
+	p2, err := criu.Restore(k2, dir, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Run(p2); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ConsoleString() + p2.ConsoleString(); got != want {
+		t.Errorf("zero-elided restore output %q, want %q", got, want)
+	}
+}

@@ -95,8 +95,19 @@ func Restore(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider) (*kernel.
 	if err != nil {
 		return nil, err
 	}
+	if len(ps.ParentPages) > 0 {
+		return nil, fmt.Errorf("criu: image has %d unresolved in_parent pages; flatten the chain (FlattenChain) before restore", len(ps.ParentPages))
+	}
 	for addr, pg := range ps.Pages {
 		as.InstallPage(addr/mem.PageSize, pg)
+	}
+	// Zero pages normally stay demand-zero, but a post-copy restore
+	// installs a fault handler: materialize them locally so they never
+	// round-trip to the page server.
+	if len(ps.LazyPages) > 0 {
+		for addr := range ps.ZeroPages {
+			as.InstallPage(addr/mem.PageSize, nil)
+		}
 	}
 
 	coder := compiler.CoderFor(inv.Arch)

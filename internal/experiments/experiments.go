@@ -123,34 +123,11 @@ func runToFraction(node *cluster.Node, name string, frac float64) (*kernel.Proce
 // MigrateOnce runs one workload to frac on the Xeon and migrates it to the
 // Pi, returning the breakdown (the primitive behind Figs. 5 and 7).
 func MigrateOnce(w workloads.Workload, c workloads.Class, frac float64, lazy bool) (*cluster.Breakdown, error) {
-	xeon, pi, err := newPairOfNodes(w, c)
-	if err != nil {
-		return nil, err
-	}
-	p, _, err := runToFraction(xeon, w.Name, frac)
-	if err != nil {
-		return nil, err
-	}
-	if p == nil {
-		return nil, fmt.Errorf("%s finished before the %.0f%% checkpoint", w.Name, frac*100)
-	}
-	pair, err := workloads.CompilePair(w, c)
-	if err != nil {
-		return nil, err
-	}
-	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{Lazy: lazy, LazyTCP: lazy && LazyTCP})
-	if err != nil {
-		return nil, err
-	}
-	defer res.Close()
-	// Finish the run so the lazy page traffic is realized.
+	mode := modeVanilla
 	if lazy {
-		if err := pi.K.Run(res.Proc); err != nil {
-			return nil, fmt.Errorf("post-migration: %w", err)
-		}
-		res.FinalizeLazyStats()
+		mode = modeLazy
 	}
-	return &res.Breakdown, nil
+	return migrateOnceMode(w, c, frac, mode)
 }
 
 // LazyTCP makes the lazy-migration experiments serve post-copy pages over
@@ -322,51 +299,11 @@ func Fig7(_ workloads.Class) (*Table, error) {
 // migrateRediska loads db keys into the server, migrates it, and (for
 // lazy) drives queries so pages actually fault over.
 func migrateRediska(c workloads.Class, db uint64, lazy bool) (*cluster.Breakdown, error) {
-	w, err := workloads.Get("rediska")
-	if err != nil {
-		return nil, err
-	}
-	xeon, pi, err := newPairOfNodes(w, c)
-	if err != nil {
-		return nil, err
-	}
-	pair, err := workloads.CompilePair(w, c)
-	if err != nil {
-		return nil, err
-	}
-	p, err := xeon.Start(w.Name)
-	if err != nil {
-		return nil, err
-	}
-	p.PushInput(workloads.RediskaLoad(db))
-	for i := 0; i < 5_000_000; i++ {
-		st, err := xeon.K.Step(p)
-		if err != nil {
-			return nil, err
-		}
-		if st.Blocked == 1 && p.PendingInput() == 0 {
-			break
-		}
-	}
-	p.TakeOutput()
-	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, cluster.MigrateOpts{Lazy: lazy, LazyTCP: lazy && LazyTCP})
-	if err != nil {
-		return nil, err
-	}
-	defer res.Close()
-	p2 := res.Proc
-	// Query every 10th key to realize post-copy traffic.
-	for k := uint64(0); k < db; k += 10 {
-		p2.PushInput(workloads.RediskaGet(1000000 + 7*k))
-	}
-	p2.CloseInput()
-	if err := pi.K.Run(p2); err != nil {
-		return nil, err
-	}
+	mode := modeVanilla
 	if lazy {
-		res.FinalizeLazyStats()
+		mode = modeLazy
 	}
-	return &res.Breakdown, nil
+	return migrateRediskaMode(c, db, mode)
 }
 
 // Fig8 regenerates the heterogeneous-cluster energy/throughput experiment.

@@ -17,6 +17,7 @@ func TestEveryFigureGenerates(t *testing.T) {
 		"fig5":  experiments.Fig5,
 		"fig6":  experiments.Fig6,
 		"fig7":  experiments.Fig7,
+		"fig7x": experiments.Fig7x,
 		"fig8":  experiments.Fig8,
 		"fig9":  experiments.Fig9,
 		"fig10": experiments.Fig10,
@@ -100,6 +101,34 @@ func TestFigureShapes(t *testing.T) {
 			}
 			if tput < 30 || tput > 60 {
 				t.Errorf("%s: 3-Pi throughput %.1f%% outside band", r[0], tput)
+			}
+		}
+	})
+	t.Run("fig7x-precopy-beats-vanilla", func(t *testing.T) {
+		t.Parallel()
+		tbl, err := experiments.Fig7x(workloads.ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The acceptance row: on the largest rediska DB, pre-copy downtime
+		// must be strictly below vanilla's stop-and-copy downtime.
+		downtime := map[string]float64{}
+		for _, r := range tbl.Rows {
+			if r[0] == "rediska-12000keys" {
+				downtime[r[1]] = parseF(t, r[2])
+			}
+		}
+		v, okV := downtime["vanilla"]
+		p, okP := downtime["precopy"]
+		if !okV || !okP {
+			t.Fatalf("missing rediska-12000keys rows: %v", downtime)
+		}
+		if p >= v {
+			t.Errorf("pre-copy downtime %.1fms not below vanilla %.1fms", p, v)
+		}
+		for _, r := range tbl.Rows {
+			if r[1] == "precopy" && parseF(t, r[4]) < 2 {
+				t.Errorf("%s: pre-copy ran only %s round(s)", r[0], r[4])
 			}
 		}
 	})

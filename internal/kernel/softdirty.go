@@ -1,0 +1,23 @@
+package kernel
+
+// Soft-dirty tracking, surfaced at the process level the way CRIU drives
+// it through /proc/<pid>/clear_refs: the dumper arms tracking on the first
+// checkpoint of a pre-copy chain and collects the dirty set on each
+// subsequent incremental dump.
+
+// StartDirtyTracking enables soft-dirty page tracking on the process's
+// address space and clears the dirty set.
+func (p *Process) StartDirtyTracking() { p.AS.StartDirtyTracking() }
+
+// StopDirtyTracking disables tracking and discards the dirty set.
+func (p *Process) StopDirtyTracking() { p.AS.StopDirtyTracking() }
+
+// DirtyTracking reports whether soft-dirty tracking is active.
+func (p *Process) DirtyTracking() bool { return p.AS.DirtyTracking() }
+
+// CollectDirty returns the sorted indices of pages written since tracking
+// started (or since the last ClearSoftDirty), without clearing them.
+func (p *Process) CollectDirty() []uint64 { return p.AS.CollectDirty() }
+
+// ClearSoftDirty resets the soft-dirty bits, keeping tracking armed.
+func (p *Process) ClearSoftDirty() { p.AS.ClearSoftDirty() }

@@ -114,6 +114,11 @@ type AddressSpace struct {
 	lastPage *Page
 
 	fault FaultHandler
+
+	// tracking/dirty implement soft-dirty page tracking (see softdirty.go):
+	// while tracking is on, every store records its page index in dirty.
+	tracking bool
+	dirty    map[uint64]struct{}
 }
 
 // NewAddressSpace returns an empty address space.
@@ -237,6 +242,7 @@ func (as *AddressSpace) WriteU64(addr, v uint64) error {
 		}
 		binary.LittleEndian.PutUint64(p.Data[addr%PageSize:], v)
 		p.Version++
+		as.markDirty(addr / PageSize)
 		return nil
 	}
 	var buf [8]byte
@@ -298,6 +304,7 @@ func (as *AddressSpace) WriteBytes(addr uint64, p []byte) error {
 		off := addr % PageSize
 		n := copy(pg.Data[off:], p)
 		pg.Version++
+		as.markDirty(addr / PageSize)
 		addr += uint64(n)
 		p = p[n:]
 	}
@@ -348,6 +355,7 @@ func (as *AddressSpace) InstallPage(idx uint64, data []byte) {
 	p := &Page{}
 	copy(p.Data[:], data)
 	p.Version = 1
+	as.markDirty(idx)
 	as.pages[idx] = p
 	if as.lastIdx == idx {
 		as.lastPage = p

@@ -1,0 +1,52 @@
+package mem
+
+import "sort"
+
+// Soft-dirty page tracking, the simulator's analog of Linux's
+// /proc/<pid>/clear_refs + pagemap soft-dirty bits that CRIU's --track-mem
+// builds incremental dumps on. While tracking is enabled, every store that
+// goes through the address space (the interpreters' only write path) marks
+// its page dirty; the dumper collects the dirty set to decide which pages
+// changed since the parent checkpoint.
+
+// StartDirtyTracking enables soft-dirty tracking and clears the dirty set,
+// as if every page's soft-dirty bit had just been reset.
+func (as *AddressSpace) StartDirtyTracking() {
+	as.tracking = true
+	as.dirty = make(map[uint64]struct{})
+}
+
+// StopDirtyTracking disables tracking and discards the dirty set.
+func (as *AddressSpace) StopDirtyTracking() {
+	as.tracking = false
+	as.dirty = nil
+}
+
+// DirtyTracking reports whether soft-dirty tracking is active.
+func (as *AddressSpace) DirtyTracking() bool { return as.tracking }
+
+// CollectDirty returns the sorted indices of pages written since tracking
+// started (or since the last ClearSoftDirty). It does not clear the set.
+func (as *AddressSpace) CollectDirty() []uint64 {
+	out := make([]uint64, 0, len(as.dirty))
+	for idx := range as.dirty {
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClearSoftDirty resets every page's soft-dirty bit; tracking stays in
+// whatever state it was.
+func (as *AddressSpace) ClearSoftDirty() {
+	if as.tracking {
+		as.dirty = make(map[uint64]struct{})
+	}
+}
+
+// markDirty records a store into page idx while tracking is enabled.
+func (as *AddressSpace) markDirty(idx uint64) {
+	if as.tracking {
+		as.dirty[idx] = struct{}{}
+	}
+}
