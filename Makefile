@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench bench-json
+.PHONY: build vet test race check bench bench-json bench-obs
 
 build:
 	$(GO) build ./...
@@ -14,15 +14,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: compile everything, vet, and run the full test
-# suite under the race detector.
+# check is the CI gate: compile everything, vet, run the full test suite
+# under the race detector, and measure the disabled-telemetry overhead
+# (which must stay cheap enough to leave instrumented code unconditional).
 check:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) bench-obs
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-json regenerates the three-way migration comparison (vanilla vs
-# lazy vs pre-copy) and archives it as machine-readable JSON.
+# lazy vs pre-copy), with each row's full obs telemetry report embedded,
+# and archives it as machine-readable JSON.
 bench-json:
 	$(GO) run ./cmd/dapper-bench -jsonout BENCH_fig7x.json fig7x
+
+# bench-obs measures the telemetry fast paths: the Disabled* benchmarks
+# are the nil-registry no-ops every migration pays even with telemetry
+# off (target: low single-digit ns/op).
+bench-obs:
+	$(GO) test -bench=BenchmarkObsOverhead -run=^$$ ./internal/obs/

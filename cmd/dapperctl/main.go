@@ -17,6 +17,11 @@
 //
 //	dapperctl migrate -at 0.5 [-lazy] [-shuffle] prog.sx86.delf prog.sarm.delf
 //	    Full live migration x86 -> arm with the phase breakdown.
+//
+//	dapperctl stats -at 0.5 [-lazy|-precopy] [-json] prog.sx86.delf prog.sarm.delf
+//	    Run a migration with telemetry attached and print the full obs
+//	    report: counters, latency histograms, and the phase span tree
+//	    (see docs/observability.md). -json emits machine-readable output.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/monitor"
+	"github.com/dapper-sim/dapper/internal/obs"
 )
 
 func main() {
@@ -53,6 +59,8 @@ func run(args []string) error {
 		return cmdRestore(args[1:])
 	case "migrate":
 		return cmdMigrate(args[1:])
+	case "stats":
+		return cmdStats(args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
@@ -255,5 +263,66 @@ func cmdMigrate(args []string) error {
 	fmt.Printf("output: %s", out1+proc.ConsoleString())
 	fmt.Printf("breakdown: checkpoint=%v recode=%v copy=%v restore=%v total=%v images=%dB\n",
 		bd.Checkpoint, bd.Recode, bd.Copy, bd.Restore, bd.Total(), bd.ImageBytes)
+	return nil
+}
+
+// cmdStats runs a full migration with a telemetry registry attached and
+// prints the obs report.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	at := fs.Float64("at", 0.5, "migration position as a fraction of total cycles")
+	lazy := fs.Bool("lazy", false, "post-copy migration (over a real TCP page server)")
+	precopy := fs.Bool("precopy", false, "iterative pre-copy migration")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: dapperctl stats [-at F] [-lazy|-precopy] [-json] src.delf dst.delf")
+	}
+	if *lazy && *precopy {
+		return fmt.Errorf("-lazy and -precopy are mutually exclusive")
+	}
+	srcNode, p, srcBin, err := startAndRunTo(fs.Arg(0), *at)
+	if err != nil {
+		return err
+	}
+	dstBin, err := loadBinary(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	dstNode := nodeFor(dstBin.Arch)
+	srcNode.Binaries[exePathOf(fs.Arg(0), srcBin.Arch)] = srcBin
+	srcNode.Binaries[exePathOf(fs.Arg(1), dstBin.Arch)] = dstBin
+	dstNode.Binaries[exePathOf(fs.Arg(0), srcBin.Arch)] = srcBin
+	dstNode.Binaries[exePathOf(fs.Arg(1), dstBin.Arch)] = dstBin
+	reg := obs.New()
+	opts := cluster.MigrateOpts{Obs: reg, Lazy: *lazy, LazyTCP: *lazy}
+	if *precopy {
+		opts.PreCopy = &cluster.PreCopyOpts{}
+	}
+	res, err := cluster.Migrate(srcNode, dstNode, p, srcBin.Meta, opts)
+	if err != nil {
+		return err
+	}
+	defer res.Close()
+	// Run to completion so post-copy faults are realized in the report.
+	if err := dstNode.K.Run(res.Proc); err != nil {
+		return err
+	}
+	res.FinalizeLazyStats()
+	rep := reg.Report()
+	if *jsonOut {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	bd := res.Breakdown
+	fmt.Printf("migration: downtime=%v total=%v rounds=%d images=%dB\n",
+		bd.Downtime, bd.MigrationTime(), bd.Rounds, bd.ImageBytes)
+	fmt.Print(rep.Text())
 	return nil
 }

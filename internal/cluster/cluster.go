@@ -24,6 +24,7 @@ import (
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/monitor"
+	"github.com/dapper-sim/dapper/internal/obs"
 	"github.com/dapper-sim/dapper/internal/stackmap"
 )
 
@@ -179,6 +180,12 @@ type MigrateOpts struct {
 	// process keeps running while dirty pages are shipped in rounds, and
 	// pauses only for the final delta. Incompatible with Lazy.
 	PreCopy *PreCopyOpts
+	// Obs, if set, collects the migration's telemetry into one registry:
+	// the monitor's pause protocol, CRIU dump counters, page-transport
+	// counters and fault-service latency, and a span tree covering every
+	// modeled phase end-to-end (see internal/obs and
+	// docs/observability.md). Nil disables recording at ~1 ns per site.
+	Obs *obs.Registry
 }
 
 // MigrationResult couples the restored process with its costs and any
@@ -289,11 +296,11 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	var bd Breakdown
 
 	// 1. Pause at equivalence points and dump (checkpoint).
-	mon := monitor.New(src.K, p, meta)
+	mon := monitor.New(src.K, p, meta).WithObs(opts.Obs)
 	if err := mon.Pause(opts.MaxPauses); err != nil {
 		return nil, fmt.Errorf("cluster: pause: %w", err)
 	}
-	dir, err := criu.Dump(p, criu.DumpOpts{Lazy: opts.Lazy})
+	dir, err := criu.Dump(p, criu.DumpOpts{Lazy: opts.Lazy, Obs: opts.Obs})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dump: %w", err)
 	}
@@ -324,9 +331,26 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 		return nil, fmt.Errorf("cluster: restore: %w", err)
 	}
 	bd.Restore = RestoreTime(dir2.Size(), opts.Lazy)
-	// Vanilla and lazy pause the process for the whole pipeline.
+	// Vanilla and lazy pause the process for the whole pipeline. Like the
+	// pre-copy path, downtime sums the modeled phases only — host wall
+	// clock never leaks in, so replays report identical downtime.
 	bd.Downtime = bd.Total()
 	bd.Rounds = 1
+
+	// Span tree: vanilla/lazy migrations are all downtime, so the root's
+	// single child covers it exactly.
+	reg := opts.Obs
+	root := reg.NewSpan("migration")
+	dt := root.Child("downtime")
+	dt.Child("checkpoint").Finish(bd.Checkpoint)
+	dt.Child("recode").Finish(bd.Recode)
+	dt.Child("copy").Finish(bd.Copy)
+	dt.Child("restore").Finish(bd.Restore)
+	dt.Finish(bd.Downtime)
+	root.Finish(bd.MigrationTime())
+	reg.Counter("migrate.count").Inc()
+	reg.Counter("migrate.image_bytes").Add(bd.ImageBytes)
+	reg.Histogram("recode.host_ns").Observe(bd.RecodeHost)
 
 	res := &MigrationResult{Proc: p2, Breakdown: bd, srcKernel: src.K, srcProc: p}
 	if !opts.Lazy {
@@ -336,15 +360,17 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 		return res, nil
 	}
 
-	// Post-copy: the paused source process becomes the page server.
-	srcPages := criu.NewProcessPageSource(p)
+	// Post-copy: the paused source process becomes the page server. The
+	// migration registry observes the fault path at the destination side
+	// (ObsSource) and the transport counters on both ends.
+	srcPages := criu.NewProcessPageSourceObs(p, opts.Obs)
 	res.Source = srcPages
 	var pageSrc criu.PageSource = srcPages
 	if opts.WrapPageSource != nil {
 		pageSrc = opts.WrapPageSource(pageSrc)
 	}
 	if !opts.LazyTCP {
-		criu.InstallLazyHandler(p2, pageSrc)
+		criu.InstallLazyHandler(p2, criu.ObsSource(pageSrc, opts.Obs))
 		return res, nil
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -354,17 +380,20 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	if opts.WrapListener != nil {
 		ln = opts.WrapListener(ln)
 	}
-	srv := criu.ServePagesOn(ln, pageSrc)
+	srv := criu.ServePagesObs(ln, pageSrc, opts.Obs)
 	var copts criu.PageClientOpts
 	if opts.PageClient != nil {
 		copts = *opts.PageClient
+	}
+	if copts.Obs == nil {
+		copts.Obs = opts.Obs
 	}
 	client, err := criu.DialPageServerOpts(srv.Addr(), copts)
 	if err != nil {
 		srv.Close()
 		return nil, fmt.Errorf("cluster: page client: %w", err)
 	}
-	criu.InstallLazyHandler(p2, client)
+	criu.InstallLazyHandler(p2, criu.ObsSource(client, opts.Obs))
 	res.pageServer, res.pageClient = srv, client
 	return res, nil
 }

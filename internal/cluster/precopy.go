@@ -58,6 +58,11 @@ type PreCopyOpts struct {
 	// TCP ships each round's images over the real ImageReceiver transport
 	// instead of in-process marshaling.
 	TCP bool
+	// ShipTimeout bounds the wait for each TCP-shipped round to arrive at
+	// the receiver. Zero derives the bound from the link model: 20× the
+	// modeled transfer time of the payload, floored at 2s, so a slow
+	// modeled link never races the real transport.
+	ShipTimeout time.Duration
 }
 
 func (pc PreCopyOpts) withDefaults() PreCopyOpts {
@@ -79,8 +84,9 @@ func (pc PreCopyOpts) withDefaults() PreCopyOpts {
 // migratePreCopy is the iterative path behind MigrateOpts.PreCopy.
 func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts MigrateOpts, link *Link, recodeNode *Node) (*MigrationResult, error) {
 	pc := opts.PreCopy.withDefaults()
+	reg := opts.Obs
 	var bd Breakdown
-	mon := monitor.New(src.K, p, meta)
+	mon := monitor.New(src.K, p, meta).WithObs(reg)
 
 	var recv *ImageReceiver
 	if pc.TCP {
@@ -103,28 +109,34 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 		if err != nil {
 			return nil, 0, fmt.Errorf("cluster: pre-copy send: %w", err)
 		}
-		deadline := time.Now().Add(10 * time.Second)
-		for {
-			if d := recv.Take(); d != nil {
-				return d, n, nil
+		timeout := pc.ShipTimeout
+		if timeout <= 0 {
+			timeout = 20 * link.TransferTime(n)
+			if timeout < 2*time.Second {
+				timeout = 2 * time.Second
 			}
-			if time.Now().After(deadline) {
-				return nil, 0, fmt.Errorf("cluster: pre-copy: image receiver timed out (%d malformed transfers)", recv.Errors())
-			}
-			time.Sleep(time.Millisecond)
 		}
+		d, err := recv.TakeWait(timeout)
+		if err != nil {
+			return nil, 0, fmt.Errorf("cluster: pre-copy: %w", err)
+		}
+		return d, n, nil
 	}
 
 	var chain []*criu.ImageDir // destination-side copies, oldest first
 	var parent *criu.ImageDir  // source-side previous dump
 	var finalBytes uint64
+	// Per-round modeled costs for non-final rounds, so the span tree can
+	// show each overlapped round as its own phase.
+	type roundCost struct{ ck, xfer, recode time.Duration }
+	var roundCosts []roundCost
 	prevPages := -1
 	idle := false
 	for round := 0; ; round++ {
 		if err := mon.Pause(opts.MaxPauses); err != nil {
 			return nil, fmt.Errorf("cluster: pre-copy pause (round %d): %w", round, err)
 		}
-		dir, err := criu.Dump(p, criu.DumpOpts{Parent: parent, TrackMem: true})
+		dir, err := criu.Dump(p, criu.DumpOpts{Parent: parent, TrackMem: true, Obs: reg})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: pre-copy dump (round %d): %w", round, err)
 		}
@@ -158,7 +170,9 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 			break
 		}
 		// Not converged: this round's cost overlaps with execution.
-		bd.PreCopyTime += ck + xfer + RecodePagesTime(recodeNode, n)
+		rc := roundCost{ck: ck, xfer: xfer, recode: RecodePagesTime(recodeNode, n)}
+		roundCosts = append(roundCosts, rc)
+		bd.PreCopyTime += rc.ck + rc.xfer + rc.recode
 		bd.PreCopyBytes += n
 		if err := mon.ResumeLocal(); err != nil {
 			return nil, fmt.Errorf("cluster: pre-copy resume (round %d): %w", round, err)
@@ -213,8 +227,41 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 		return nil, fmt.Errorf("cluster: pre-copy restore: %w", err)
 	}
 	bd.Restore = RestoreTime(flat.Size(), false)
+	// Downtime is the final stop-and-copy interruption, composed of the
+	// MODELED phases only (checkpoint + recode + copy + restore). Host
+	// wall-clock costs — the Go rewriter (RecodeHost), TCP shipping, test
+	// scheduling — must never leak in here: the same migration replayed
+	// twice reports the identical downtime (the determinism regression
+	// test pins this).
 	bd.Downtime = bd.Checkpoint + bd.Recode + bd.Copy + bd.Restore
 	bd.ImageBytes = bd.PreCopyBytes + finalBytes
+
+	// Span tree: precopy rounds overlap execution; downtime is the final
+	// interruption. Parents finish with the exact sum of their children,
+	// so MigrationTime is covered completely.
+	root := reg.NewSpan("migration")
+	pcSpan := root.Child("precopy")
+	for i, rc := range roundCosts {
+		rs := pcSpan.Child(fmt.Sprintf("round%d", i))
+		rs.Child("checkpoint").Finish(rc.ck)
+		rs.Child("copy").Finish(rc.xfer)
+		rs.Child("recode").Finish(rc.recode)
+		rs.Finish(rc.ck + rc.xfer + rc.recode)
+	}
+	pcSpan.Finish(bd.PreCopyTime)
+	dt := root.Child("downtime")
+	dt.Child("checkpoint").Finish(bd.Checkpoint)
+	dt.Child("recode").Finish(bd.Recode)
+	dt.Child("copy").Finish(bd.Copy)
+	dt.Child("restore").Finish(bd.Restore)
+	dt.Finish(bd.Downtime)
+	root.Finish(bd.MigrationTime())
+	reg.Counter("migrate.count").Inc()
+	reg.Counter("migrate.image_bytes").Add(bd.ImageBytes)
+	reg.Counter("precopy.rounds").Add(uint64(bd.Rounds))
+	reg.Counter("precopy.bytes").Add(bd.PreCopyBytes)
+	reg.Counter("precopy.chain_depth").Add(uint64(len(chain)))
+	reg.Histogram("recode.host_ns").Observe(bd.RecodeHost)
 
 	res := &MigrationResult{Proc: p2, Breakdown: bd, srcKernel: src.K, srcProc: p}
 	// Everything lives on the destination now; nothing faults back.

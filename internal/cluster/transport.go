@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/dapper-sim/dapper/internal/criu"
 )
@@ -27,6 +28,11 @@ type ImageReceiver struct {
 	errs   uint64
 	closed bool
 
+	// notify wakes TakeWait blockers when a directory arrives; done is
+	// closed by Close so blocked waiters fail fast instead of timing out.
+	notify chan struct{}
+	done   chan struct{}
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 	closeErr  error
@@ -38,7 +44,12 @@ func ListenImages(addr string) (*ImageReceiver, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: image receiver: %w", err)
 	}
-	r := &ImageReceiver{ln: ln, conns: make(map[net.Conn]struct{})}
+	r := &ImageReceiver{
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
 	r.wg.Add(1)
 	go r.acceptLoop()
 	return r, nil
@@ -59,6 +70,7 @@ func (r *ImageReceiver) Errors() uint64 {
 // result.
 func (r *ImageReceiver) Close() error {
 	r.closeOnce.Do(func() {
+		close(r.done)
 		r.mu.Lock()
 		r.closed = true
 		conns := make([]net.Conn, 0, len(r.conns))
@@ -85,6 +97,32 @@ func (r *ImageReceiver) Take() *criu.ImageDir {
 	d := r.recv[0]
 	r.recv = r.recv[1:]
 	return d
+}
+
+// TakeWait blocks until a received directory is available and returns it.
+// It is channel-notified — no polling — and fails with an error when the
+// receiver is closed or nothing arrives within timeout. Multiple waiters
+// are safe; each arrival wakes one.
+func (r *ImageReceiver) TakeWait(timeout time.Duration) (*criu.ImageDir, error) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		if d := r.Take(); d != nil {
+			return d, nil
+		}
+		select {
+		case <-r.notify:
+			// Something arrived (or a sibling consumed it); re-check.
+		case <-r.done:
+			// Drain anything that raced with Close before giving up.
+			if d := r.Take(); d != nil {
+				return d, nil
+			}
+			return nil, fmt.Errorf("cluster: image receiver closed (%d malformed transfers)", r.Errors())
+		case <-timer.C:
+			return nil, fmt.Errorf("cluster: image receiver: nothing arrived within %v (%d malformed transfers)", timeout, r.Errors())
+		}
+	}
 }
 
 func (r *ImageReceiver) acceptLoop() {
@@ -115,6 +153,15 @@ func (r *ImageReceiver) acceptLoop() {
 				r.recv = append(r.recv, dir)
 			}
 			r.mu.Unlock()
+			if err == nil {
+				// Wake a TakeWait blocker; the buffered channel makes the
+				// signal level-triggered, so a wakeup is never lost even
+				// with no waiter parked right now.
+				select {
+				case r.notify <- struct{}{}:
+				default:
+				}
+			}
 		}()
 	}
 }

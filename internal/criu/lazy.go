@@ -2,9 +2,11 @@ package criu
 
 import (
 	"sync"
+	"time"
 
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/obs"
 )
 
 // PageSource serves page contents for post-copy restoration. The
@@ -24,10 +26,12 @@ type PageSource interface {
 type ProcessPageSource struct {
 	mu    sync.Mutex
 	p     *kernel.Process
-	stats PageServerStats
+	reqs  *obs.Counter
+	bytes *obs.Counter
 }
 
 // PageServerStats counts page-server activity (drives the Fig. 7 model).
+// It is a snapshot of obs counters (see Stats).
 type PageServerStats struct {
 	// Requests counts FetchPage calls, including ones that failed.
 	Requests uint64
@@ -38,17 +42,32 @@ type PageServerStats struct {
 	Errors uint64
 }
 
-// NewProcessPageSource wraps a stopped source process.
+// NewProcessPageSource wraps a stopped source process with a private
+// telemetry registry.
 func NewProcessPageSource(p *kernel.Process) *ProcessPageSource {
-	return &ProcessPageSource{p: p}
+	return NewProcessPageSourceObs(p, nil)
+}
+
+// NewProcessPageSourceObs wraps a stopped source process, recording serving
+// counters into reg ("pagesource.*"). A nil reg gives the source a private
+// registry so Stats keeps working.
+func NewProcessPageSourceObs(p *kernel.Process, reg *obs.Registry) *ProcessPageSource {
+	if reg == nil {
+		reg = obs.New()
+	}
+	return &ProcessPageSource{
+		p:     p,
+		reqs:  reg.Counter("pagesource.requests"),
+		bytes: reg.Counter("pagesource.bytes_sent"),
+	}
 }
 
 // FetchPage implements PageSource.
 func (s *ProcessPageSource) FetchPage(addr uint64) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.stats.Requests++
-	s.stats.BytesSent += mem.PageSize
+	s.reqs.Inc()
+	s.bytes.Add(mem.PageSize)
 	if data, ok := s.p.AS.PageData(addr / mem.PageSize); ok {
 		out := make([]byte, mem.PageSize)
 		copy(out, data)
@@ -57,11 +76,49 @@ func (s *ProcessPageSource) FetchPage(addr uint64) ([]byte, error) {
 	return make([]byte, mem.PageSize), nil
 }
 
-// Stats returns a copy of the counters.
+// Stats returns a snapshot of the counters.
 func (s *ProcessPageSource) Stats() PageServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return PageServerStats{Requests: s.reqs.Value(), BytesSent: s.bytes.Value()}
+}
+
+// ObsSource wraps a PageSource so every fetch the destination's fault
+// handler makes — in-process or remote, successful or failed — is timed
+// into reg's "fault.service_ns" histogram and counted. This is the
+// migration-level view of the post-copy tail; transport-level detail
+// lives in the pageclient/pageserver counters. A nil reg returns src
+// unchanged (zero overhead when telemetry is off).
+func ObsSource(src PageSource, reg *obs.Registry) PageSource {
+	if reg == nil {
+		return src
+	}
+	return &obsSource{
+		src:     src,
+		fetches: reg.Counter("fault.fetches"),
+		errs:    reg.Counter("fault.errors"),
+		bytes:   reg.Counter("fault.bytes"),
+		lat:     reg.Histogram("fault.service_ns"),
+	}
+}
+
+type obsSource struct {
+	src     PageSource
+	fetches *obs.Counter
+	errs    *obs.Counter
+	bytes   *obs.Counter
+	lat     *obs.Histogram
+}
+
+func (o *obsSource) FetchPage(addr uint64) ([]byte, error) {
+	start := time.Now()
+	page, err := o.src.FetchPage(addr)
+	o.lat.Observe(time.Since(start))
+	o.fetches.Inc()
+	if err != nil {
+		o.errs.Inc()
+		return nil, err
+	}
+	o.bytes.Add(uint64(len(page)))
+	return page, nil
 }
 
 // InstallLazyHandler wires a restored process's page faults to a source.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/obs"
 )
 
 // PageClientOpts tunes the resilient page client. The zero value selects
@@ -39,6 +40,10 @@ type PageClientOpts struct {
 	DialTimeout time.Duration
 	// Dial overrides the dialer; tests inject faulty transports here.
 	Dial func(addr string) (net.Conn, error)
+	// Obs, if set, is the telemetry registry the client records into
+	// ("pageclient.*" counters plus the fault-latency histogram). Nil
+	// gives the client a private registry so Stats keeps working.
+	Obs *obs.Registry
 }
 
 func (o PageClientOpts) withDefaults() PageClientOpts {
@@ -62,7 +67,8 @@ func (o PageClientOpts) withDefaults() PageClientOpts {
 	return o
 }
 
-// PageClientStats counts client-side transport activity.
+// PageClientStats counts client-side transport activity. It is a snapshot
+// of the client's obs counters (see Stats).
 type PageClientStats struct {
 	Fetches      uint64 // successful FetchPage calls
 	Retries      uint64 // attempts beyond each fetch's first
@@ -96,8 +102,14 @@ type RemotePageSource struct {
 	next  atomic.Uint32 // round-robin cursor over conns
 	conns []*pageConn
 
+	// Transport counters live in an obs registry (PageClientOpts.Obs or a
+	// private one) instead of a hand-rolled struct; Stats snapshots them.
+	fetches, retries, reconnects   *obs.Counter
+	timeouts, remoteErrs, bytes    *obs.Counter
+	prefIssued, prefDone, prefHits *obs.Counter
+	faultLat                       *obs.Histogram
+
 	mu     sync.Mutex
-	stats  PageClientStats
 	cache  map[uint64][]byte // prefetched pages; nil value = in flight
 	closed bool
 
@@ -119,6 +131,20 @@ func DialPageServerOpts(addr string, opts PageClientOpts) (*RemotePageSource, er
 		opts:  opts.withDefaults(),
 		cache: make(map[uint64][]byte),
 	}
+	reg := c.opts.Obs
+	if reg == nil {
+		reg = obs.New()
+	}
+	c.fetches = reg.Counter("pageclient.fetches")
+	c.retries = reg.Counter("pageclient.retries")
+	c.reconnects = reg.Counter("pageclient.reconnects")
+	c.timeouts = reg.Counter("pageclient.timeouts")
+	c.remoteErrs = reg.Counter("pageclient.remote_errors")
+	c.bytes = reg.Counter("pageclient.bytes_read")
+	c.prefIssued = reg.Counter("pageclient.prefetch_issued")
+	c.prefDone = reg.Counter("pageclient.prefetched")
+	c.prefHits = reg.Counter("pageclient.prefetch_hits")
+	c.faultLat = reg.Histogram("pageclient.fault_ns")
 	c.conns = make([]*pageConn, c.opts.Conns)
 	for i := range c.conns {
 		c.conns[i] = &pageConn{client: c}
@@ -129,11 +155,19 @@ func DialPageServerOpts(addr string, opts PageClientOpts) (*RemotePageSource, er
 	return c, nil
 }
 
-// Stats returns a copy of the client counters.
+// Stats returns a snapshot of the client counters.
 func (c *RemotePageSource) Stats() PageClientStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return PageClientStats{
+		Fetches:        c.fetches.Value(),
+		Retries:        c.retries.Value(),
+		Reconnects:     c.reconnects.Value(),
+		Timeouts:       c.timeouts.Value(),
+		RemoteErrors:   c.remoteErrs.Value(),
+		BytesRead:      c.bytes.Value(),
+		PrefetchIssued: c.prefIssued.Value(),
+		Prefetched:     c.prefDone.Value(),
+		PrefetchHits:   c.prefHits.Value(),
+	}
 }
 
 // Close tears down the pool and fails any in-flight fetches. It is
@@ -162,23 +196,24 @@ func (c *RemotePageSource) isClosed() bool {
 	return c.closed
 }
 
-func (c *RemotePageSource) bump(f func(*PageClientStats)) {
-	c.mu.Lock()
-	f(&c.stats)
-	c.mu.Unlock()
-}
-
 // FetchPage implements PageSource with retry, reconnection, and prefetch.
+// Every fetch — hit, miss, or failure — lands in the fault-latency
+// histogram, so the post-copy tail is measurable end to end.
 func (c *RemotePageSource) FetchPage(addr uint64) ([]byte, error) {
+	start := time.Now()
 	if page := c.cacheTake(addr); page != nil {
-		c.bump(func(s *PageClientStats) { s.PrefetchHits++; s.Fetches++ })
+		c.prefHits.Inc()
+		c.fetches.Inc()
+		c.faultLat.Observe(time.Since(start))
 		return page, nil
 	}
 	page, err := c.fetchWithRetry(addr)
+	c.faultLat.Observe(time.Since(start))
 	if err != nil {
 		return nil, err
 	}
-	c.bump(func(s *PageClientStats) { s.Fetches++; s.BytesRead += uint64(len(page)) })
+	c.fetches.Inc()
+	c.bytes.Add(uint64(len(page)))
 	c.maybePrefetch(addr)
 	return page, nil
 }
@@ -191,7 +226,7 @@ func (c *RemotePageSource) fetchWithRetry(addr uint64) ([]byte, error) {
 			return nil, ErrPageClientClosed
 		}
 		if attempt > 0 {
-			c.bump(func(s *PageClientStats) { s.Retries++ })
+			c.retries.Inc()
 			time.Sleep(backoff)
 			if backoff < 32*c.opts.RetryBackoff {
 				backoff *= 2
@@ -264,7 +299,7 @@ func (c *RemotePageSource) cacheFill(addr uint64, page []byte) {
 	defer c.mu.Unlock()
 	if p, ok := c.cache[addr]; ok && p == nil {
 		c.cache[addr] = page
-		c.stats.Prefetched++
+		c.prefDone.Inc()
 	}
 }
 
@@ -285,7 +320,7 @@ func (c *RemotePageSource) maybePrefetch(addr uint64) {
 		if !c.cacheReserve(paddr) {
 			continue
 		}
-		c.bump(func(s *PageClientStats) { s.PrefetchIssued++ })
+		c.prefIssued.Inc()
 		c.prefetchWG.Add(1)
 		go func(paddr uint64) {
 			defer c.prefetchWG.Done()
@@ -343,7 +378,7 @@ func (pc *pageConn) state() (*connState, error) {
 		return nil, err
 	}
 	if pc.everAlive {
-		pc.client.bump(func(s *PageClientStats) { s.Reconnects++ })
+		pc.client.reconnects.Inc()
 	}
 	pc.everAlive = true
 	cs := &connState{conn: conn, pending: make(map[uint32]pendingFetch)}
@@ -394,7 +429,7 @@ func (pc *pageConn) readLoop(cs *connState) {
 			continue
 		}
 		if resp.Remote != "" {
-			pc.client.bump(func(s *PageClientStats) { s.RemoteErrors++ })
+			pc.client.remoteErrs.Inc()
 			pf.ch <- pageResult{err: &RemoteFetchError{Addr: pf.addr, Msg: resp.Remote}}
 			continue
 		}
@@ -417,8 +452,18 @@ func (pc *pageConn) roundTrip(addr uint64, timeout time.Duration) ([]byte, error
 	id := cs.nextID
 	cs.nextID++
 	cs.pending[id] = pendingFetch{addr: addr, ch: ch}
-	cs.conn.SetWriteDeadline(time.Now().Add(timeout))
-	werr := writePageRequest(cs.conn, pageRequest{ID: id, Addr: addr})
+	// The write deadline covers only this request's frame and is cleared
+	// right after: a deadline left armed would fail a later pipelined
+	// write on this pooled connection with a timeout that belongs to a
+	// request long gone. A transport that cannot arm the deadline is
+	// treated as broken — writing unbounded to it could hang forever.
+	werr := cs.conn.SetWriteDeadline(time.Now().Add(timeout))
+	if werr == nil {
+		werr = writePageRequest(cs.conn, pageRequest{ID: id, Addr: addr})
+		if cerr := cs.conn.SetWriteDeadline(time.Time{}); werr == nil && cerr != nil {
+			werr = cerr
+		}
+	}
 	cs.mu.Unlock()
 	if werr != nil {
 		// drop delivers the error to our channel along with everyone
@@ -434,7 +479,7 @@ func (pc *pageConn) roundTrip(addr uint64, timeout time.Duration) ([]byte, error
 		cs.mu.Lock()
 		delete(cs.pending, id)
 		cs.mu.Unlock()
-		pc.client.bump(func(s *PageClientStats) { s.Timeouts++ })
+		pc.client.timeouts.Inc()
 		return nil, fmt.Errorf("criu: page fetch 0x%x timed out after %v", addr, timeout)
 	}
 }

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"github.com/dapper-sim/dapper/internal/obs"
 )
 
 // PageServer serves FetchPage requests over TCP using the pipelined frame
@@ -16,13 +19,17 @@ type PageServer struct {
 	src PageSource
 	ln  net.Listener
 
+	// Serving counters live in an obs registry ("pageserver.*"); the
+	// service-latency histogram records every fetch, failed ones included.
+	reqs, bytesSent, errsC *obs.Counter
+	svcLat                 *obs.Histogram
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 	closeErr  error
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
-	stats  PageServerStats
 	closed bool
 }
 
@@ -35,11 +42,27 @@ func ServePages(addr string, src PageSource) (*PageServer, error) {
 	return ServePagesOn(ln, src), nil
 }
 
-// ServePagesOn starts a page server on an existing listener. Tests use this
-// to interpose fault-injecting listeners (see FlakyListener); the server
-// takes ownership of ln.
+// ServePagesOn starts a page server on an existing listener with a private
+// telemetry registry. Tests use this to interpose fault-injecting
+// listeners (see FlakyListener); the server takes ownership of ln.
 func ServePagesOn(ln net.Listener, src PageSource) *PageServer {
-	s := &PageServer{src: src, ln: ln, conns: make(map[net.Conn]struct{})}
+	return ServePagesObs(ln, src, nil)
+}
+
+// ServePagesObs starts a page server on an existing listener, recording
+// into reg ("pageserver.*" counters and the service-latency histogram).
+// A nil reg gives the server a private registry so Stats keeps working.
+func ServePagesObs(ln net.Listener, src PageSource, reg *obs.Registry) *PageServer {
+	if reg == nil {
+		reg = obs.New()
+	}
+	s := &PageServer{
+		src: src, ln: ln, conns: make(map[net.Conn]struct{}),
+		reqs:      reg.Counter("pageserver.requests"),
+		bytesSent: reg.Counter("pageserver.bytes_sent"),
+		errsC:     reg.Counter("pageserver.errors"),
+		svcLat:    reg.Histogram("pageserver.service_ns"),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -48,13 +71,15 @@ func ServePagesOn(ln net.Listener, src PageSource) *PageServer {
 // Addr returns the listen address.
 func (s *PageServer) Addr() string { return s.ln.Addr().String() }
 
-// Stats returns a copy of the server-side counters: every request frame
-// received, bytes of page payload sent, and fetches answered with an error
-// frame.
+// Stats returns a snapshot of the server-side counters: every request
+// frame received, bytes of page payload sent, and fetches answered with an
+// error frame.
 func (s *PageServer) Stats() PageServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return PageServerStats{
+		Requests:  s.reqs.Value(),
+		BytesSent: s.bytesSent.Value(),
+		Errors:    s.errsC.Value(),
+	}
 }
 
 // Close stops the listener, closes every open connection, and waits for
@@ -113,15 +138,15 @@ func (s *PageServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		start := time.Now()
 		page, ferr := s.src.FetchPage(req.Addr)
-		s.mu.Lock()
-		s.stats.Requests++
+		s.svcLat.Observe(time.Since(start))
+		s.reqs.Inc()
 		if ferr != nil {
-			s.stats.Errors++
+			s.errsC.Inc()
 		} else {
-			s.stats.BytesSent += uint64(len(page))
+			s.bytesSent.Add(uint64(len(page)))
 		}
-		s.mu.Unlock()
 		if ferr != nil {
 			if err := writePageError(conn, req.ID, ferr); err != nil {
 				return

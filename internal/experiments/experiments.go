@@ -11,6 +11,7 @@ import (
 
 	"github.com/dapper-sim/dapper/internal/cluster"
 	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/obs"
 	"github.com/dapper-sim/dapper/internal/workloads"
 )
 
@@ -21,6 +22,11 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Telemetry holds the per-case obs report (counters, histograms, span
+	// tree) for experiments that collect one, keyed by "case/mode". It
+	// rides along in dapper-bench -jsonout so CI archives the full
+	// migration telemetry next to the table.
+	Telemetry map[string]*obs.Report `json:",omitempty"`
 }
 
 // String renders an aligned text table.
@@ -127,7 +133,8 @@ func MigrateOnce(w workloads.Workload, c workloads.Class, frac float64, lazy boo
 	if lazy {
 		mode = modeLazy
 	}
-	return migrateOnceMode(w, c, frac, mode)
+	bd, _, err := migrateOnceMode(w, c, frac, mode)
+	return bd, err
 }
 
 // LazyTCP makes the lazy-migration experiments serve post-copy pages over
@@ -303,7 +310,8 @@ func migrateRediska(c workloads.Class, db uint64, lazy bool) (*cluster.Breakdown
 	if lazy {
 		mode = modeLazy
 	}
-	return migrateRediskaMode(c, db, mode)
+	bd, _, err := migrateRediskaMode(c, db, mode)
+	return bd, err
 }
 
 // Fig8 regenerates the heterogeneous-cluster energy/throughput experiment.

@@ -131,6 +131,28 @@ func TestFigureShapes(t *testing.T) {
 				t.Errorf("%s: pre-copy ran only %s round(s)", r[0], r[4])
 			}
 		}
+		// Every row carries its migration's telemetry report, and the
+		// span tree is complete: the table's time columns were read from
+		// it, so it must at least name the root phases.
+		if len(tbl.Telemetry) != len(tbl.Rows) {
+			t.Errorf("%d telemetry reports for %d rows", len(tbl.Telemetry), len(tbl.Rows))
+		}
+		for _, r := range tbl.Rows {
+			rep := tbl.Telemetry[r[0]+"/"+r[1]]
+			if rep == nil {
+				t.Errorf("%s/%s: no telemetry report", r[0], r[1])
+				continue
+			}
+			if _, ok := rep.Span("migration"); !ok {
+				t.Errorf("%s/%s: telemetry lacks the migration span", r[0], r[1])
+			}
+			if r[1] == "lazy" && rep.Histograms["fault.service_ns"].Count == 0 {
+				t.Errorf("%s/lazy: empty fault-service histogram", r[0])
+			}
+			if r[1] == "precopy" && rep.Counters["precopy.rounds"] < 2 {
+				t.Errorf("%s/precopy: precopy.rounds = %d", r[0], rep.Counters["precopy.rounds"])
+			}
+		}
 	})
 	t.Run("attacks-defeated", func(t *testing.T) {
 		t.Parallel()

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/dapper-sim/dapper/internal/cluster"
 	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/obs"
 	"github.com/dapper-sim/dapper/internal/workloads"
 )
 
@@ -30,24 +32,27 @@ func (m migMode) String() string {
 	}
 }
 
-// migrateOnceMode generalizes MigrateOnce over the three modes.
-func migrateOnceMode(w workloads.Workload, c workloads.Class, frac float64, mode migMode) (*cluster.Breakdown, error) {
+// migrateOnceMode generalizes MigrateOnce over the three modes. Every
+// migration runs with a fresh obs registry attached; the returned report
+// carries the span tree and transport counters for the run.
+func migrateOnceMode(w workloads.Workload, c workloads.Class, frac float64, mode migMode) (*cluster.Breakdown, *obs.Report, error) {
 	xeon, pi, err := newPairOfNodes(w, c)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p, total, err := runToFraction(xeon, w.Name, frac)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if p == nil {
-		return nil, fmt.Errorf("%s finished before the %.0f%% checkpoint", w.Name, frac*100)
+		return nil, nil, fmt.Errorf("%s finished before the %.0f%% checkpoint", w.Name, frac*100)
 	}
 	pair, err := workloads.CompilePair(w, c)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	opts := cluster.MigrateOpts{}
+	reg := obs.New()
+	opts := cluster.MigrateOpts{Obs: reg}
 	switch mode {
 	case modeLazy:
 		opts.Lazy, opts.LazyTCP = true, LazyTCP
@@ -57,52 +62,53 @@ func migrateOnceMode(w workloads.Workload, c workloads.Class, frac float64, mode
 	}
 	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer res.Close()
 	// Finish the run so the lazy page traffic is realized.
 	if mode == modeLazy {
 		if err := pi.K.Run(res.Proc); err != nil {
-			return nil, fmt.Errorf("post-migration: %w", err)
+			return nil, nil, fmt.Errorf("post-migration: %w", err)
 		}
 		res.FinalizeLazyStats()
 	}
-	return &res.Breakdown, nil
+	return &res.Breakdown, reg.Report(), nil
 }
 
 // migrateRediskaMode loads db keys into the server and migrates it in the
 // given mode. For lazy, post-migration queries realize the paging traffic;
 // for pre-copy, a write burst per round keeps the server dirtying pages
 // while the chain is in flight.
-func migrateRediskaMode(c workloads.Class, db uint64, mode migMode) (*cluster.Breakdown, error) {
+func migrateRediskaMode(c workloads.Class, db uint64, mode migMode) (*cluster.Breakdown, *obs.Report, error) {
 	w, err := workloads.Get("rediska")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	xeon, pi, err := newPairOfNodes(w, c)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pair, err := workloads.CompilePair(w, c)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p, err := xeon.Start(w.Name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p.PushInput(workloads.RediskaLoad(db))
 	for i := 0; i < 5_000_000; i++ {
 		st, err := xeon.K.Step(p)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if st.Blocked == 1 && p.PendingInput() == 0 {
 			break
 		}
 	}
 	p.TakeOutput()
-	opts := cluster.MigrateOpts{}
+	reg := obs.New()
+	opts := cluster.MigrateOpts{Obs: reg}
 	switch mode {
 	case modeLazy:
 		opts.Lazy, opts.LazyTCP = true, LazyTCP
@@ -120,7 +126,7 @@ func migrateRediskaMode(c workloads.Class, db uint64, mode migMode) (*cluster.Br
 	}
 	res, err := cluster.Migrate(xeon, pi, p, pair.Meta, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer res.Close()
 	p2 := res.Proc
@@ -130,12 +136,12 @@ func migrateRediskaMode(c workloads.Class, db uint64, mode migMode) (*cluster.Br
 	}
 	p2.CloseInput()
 	if err := pi.K.Run(p2); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if mode == modeLazy {
 		res.FinalizeLazyStats()
 	}
-	return &res.Breakdown, nil
+	return &res.Breakdown, reg.Report(), nil
 }
 
 // Fig7x extends Fig. 7 with the restoration mode the paper leaves
@@ -145,16 +151,29 @@ func migrateRediskaMode(c workloads.Class, db uint64, mode migMode) (*cluster.Br
 func Fig7x(_ workloads.Class) (*Table, error) {
 	c := workloads.ClassA
 	t := &Table{
-		ID:     "fig7x",
-		Title:  "vanilla vs lazy vs pre-copy migration: downtime and end-to-end cost",
-		Header: []string{"case", "mode", "downtime(ms)", "total(ms)", "rounds", "precopy(KiB)", "images(KiB)", "postcopy(KiB)"},
+		ID:        "fig7x",
+		Title:     "vanilla vs lazy vs pre-copy migration: downtime and end-to-end cost",
+		Header:    []string{"case", "mode", "downtime(ms)", "total(ms)", "rounds", "precopy(KiB)", "images(KiB)", "postcopy(KiB)", "fault-p95(us)"},
+		Telemetry: map[string]*obs.Report{},
 	}
 	modes := []migMode{modeVanilla, modeLazy, modePreCopy}
-	addRow := func(label string, mode migMode, bd *cluster.Breakdown) {
+	addRow := func(label string, mode migMode, bd *cluster.Breakdown, rep *obs.Report) error {
+		// The time columns come from the telemetry span tree, not from the
+		// Breakdown: the spans ARE the accounting now, and a divergence
+		// between the two is a bug worth failing the experiment over.
+		downtime, total := rep.SpanDur("downtime"), rep.SpanDur("migration")
+		if downtime != bd.Downtime || total != bd.MigrationTime() {
+			return fmt.Errorf("span tree disagrees with breakdown: downtime %v vs %v, total %v vs %v",
+				downtime, bd.Downtime, total, bd.MigrationTime())
+		}
+		faultP95 := time.Duration(rep.Histograms["fault.service_ns"].P95Ns)
 		t.Rows = append(t.Rows, []string{
-			label, mode.String(), ms(bd.Downtime), ms(bd.MigrationTime()),
+			label, mode.String(), ms(downtime), ms(total),
 			fmt.Sprintf("%d", bd.Rounds), kb(bd.PreCopyBytes), kb(bd.ImageBytes), kb(bd.LazyBytes),
+			fmt.Sprintf("%.1f", float64(faultP95.Nanoseconds())/1000),
 		})
+		t.Telemetry[label+"/"+mode.String()] = rep
+		return nil
 	}
 	for _, name := range []string{"cg", "mg"} {
 		w, err := workloads.Get(name)
@@ -162,24 +181,29 @@ func Fig7x(_ workloads.Class) (*Table, error) {
 			return nil, err
 		}
 		for _, mode := range modes {
-			bd, err := migrateOnceMode(w, c, 0.5, mode)
+			bd, rep, err := migrateOnceMode(w, c, 0.5, mode)
 			if err != nil {
 				return nil, fmt.Errorf("fig7x %s %v: %w", name, mode, err)
 			}
-			addRow(name+"-mid", mode, bd)
+			if err := addRow(name+"-mid", mode, bd, rep); err != nil {
+				return nil, fmt.Errorf("fig7x %s %v: %w", name, mode, err)
+			}
 		}
 	}
 	for _, db := range []uint64{100, 2000, 12000} {
 		for _, mode := range modes {
-			bd, err := migrateRediskaMode(c, db, mode)
+			bd, rep, err := migrateRediskaMode(c, db, mode)
 			if err != nil {
 				return nil, fmt.Errorf("fig7x rediska %d %v: %w", db, mode, err)
 			}
-			addRow(fmt.Sprintf("rediska-%dkeys", db), mode, bd)
+			if err := addRow(fmt.Sprintf("rediska-%dkeys", db), mode, bd, rep); err != nil {
+				return nil, fmt.Errorf("fig7x rediska %d %v: %w", db, mode, err)
+			}
 		}
 	}
 	t.Notes = append(t.Notes,
 		"downtime is pause->resume; total additionally counts pre-copy rounds overlapped with execution",
-		"pre-copy ships soft-dirty deltas as in_parent incremental images and pauses only for the final round")
+		"pre-copy ships soft-dirty deltas as in_parent incremental images and pauses only for the final round",
+		"time columns are read from the telemetry span tree (internal/obs); fault-p95 is the post-copy page-fault service latency")
 	return t, nil
 }

@@ -23,9 +23,11 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/obs"
 	"github.com/dapper-sim/dapper/internal/stackmap"
 )
 
@@ -35,12 +37,23 @@ type Monitor struct {
 	p    *kernel.Process
 	meta *stackmap.Metadata
 	tr   *kernel.Tracer
+	obs  *obs.Registry
 }
 
 // New attaches a monitor to a process. meta must be the stack-map metadata
 // of the binary the process is running.
 func New(k *kernel.Kernel, p *kernel.Process, meta *stackmap.Metadata) *Monitor {
 	return &Monitor{k: k, p: p, meta: meta, tr: kernel.Attach(p)}
+}
+
+// WithObs makes the monitor record the pause protocol into reg: a
+// wall-time pause histogram ("monitor.pause_ns"), per-thread time-to-park
+// ("monitor.park_ns"), and counters for pauses, scheduler passes, and
+// syscall rollbacks. A nil reg disables recording. Returns the monitor
+// for chaining.
+func (m *Monitor) WithObs(reg *obs.Registry) *Monitor {
+	m.obs = reg
+	return m
 }
 
 // Tracer exposes the underlying tracer (for tests and tooling).
@@ -54,6 +67,29 @@ var ErrNotQuiescing = errors.New("monitor: threads did not reach equivalence poi
 // process. maxPasses bounds the scheduler passes spent waiting (threads in
 // critical sections need time to release their locks).
 func (m *Monitor) Pause(maxPasses int) error {
+	start := time.Now()
+	// Per-thread time-to-park: a thread is "parked" once it traps (or
+	// exits); the histogram exposes the tail thread that holds the whole
+	// pause back (threads deep in critical sections).
+	var parked map[int]bool
+	if m.obs != nil {
+		parked = make(map[int]bool, len(m.p.Threads))
+		m.obs.Counter("monitor.pauses").Inc()
+	}
+	observeParked := func() {
+		if parked == nil {
+			return
+		}
+		for _, t := range m.p.Threads {
+			if parked[t.TID] {
+				continue
+			}
+			if t.State == kernel.ThreadTrapped || t.State == kernel.ThreadExited {
+				parked[t.TID] = true
+				m.obs.Histogram("monitor.park_ns").Observe(time.Since(start))
+			}
+		}
+	}
 	if err := m.tr.PokeData(isa.FlagAddr, 1); err != nil {
 		return fmt.Errorf("monitor: set flag: %w", err)
 	}
@@ -65,19 +101,23 @@ func (m *Monitor) Pause(maxPasses int) error {
 		if st.Exited {
 			return fmt.Errorf("monitor: process exited before pausing")
 		}
+		m.obs.Counter("monitor.passes").Inc()
 		// Roll back threads blocked in synchronization wrappers.
 		for _, t := range m.p.Threads {
 			if t.State == kernel.ThreadBlocked {
 				if err := m.rollback(t); err != nil {
 					return err
 				}
+				m.obs.Counter("monitor.rollbacks").Inc()
 			}
 		}
+		observeParked()
 		if m.allParked() {
 			if err := m.validate(); err != nil {
 				return err
 			}
 			m.tr.Stop()
+			m.obs.Histogram("monitor.pause_ns").Observe(time.Since(start))
 			return nil
 		}
 	}

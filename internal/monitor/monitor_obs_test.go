@@ -1,0 +1,83 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/monitor"
+	"github.com/dapper-sim/dapper/internal/obs"
+)
+
+// TestPauseRecordsObs: the pause protocol must report itself — one pause,
+// at least one scheduler pass, a pause-latency observation, and one
+// time-to-park observation per thread that parked.
+func TestPauseRecordsObs(t *testing.T) {
+	src := `
+var tids[3] int;
+func tick(v int) int { return v + 1; }
+func worker(id int) {
+	var i int;
+	var acc int;
+	for i = 0; i < 3000; i = i + 1 { acc = tick(acc); }
+}
+func main() {
+	var i int;
+	for i = 0; i < 3; i = i + 1 { tids[i] = spawn(worker, i); }
+	for i = 0; i < 3; i = i + 1 { join(tids[i]); }
+}`
+	k, p, pair := start(t, src, isa.SX86, 2)
+	if _, err := k.RunBudget(p, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	mon := monitor.New(k, p, pair.Meta).WithObs(reg)
+	if err := mon.Pause(1 << 20); err != nil {
+		t.Fatalf("pause: %v", err)
+	}
+	parked := 0
+	for _, th := range p.Threads {
+		if th.State != kernel.ThreadExited {
+			parked++
+		}
+	}
+	rep := reg.Report()
+	if got := rep.Counters["monitor.pauses"]; got != 1 {
+		t.Errorf("monitor.pauses = %d, want 1", got)
+	}
+	if got := rep.Counters["monitor.passes"]; got == 0 {
+		t.Error("monitor.passes = 0, want > 0")
+	}
+	if h := rep.Histograms["monitor.pause_ns"]; h.Count != 1 {
+		t.Errorf("pause histogram count = %d, want 1", h.Count)
+	}
+	// Every thread that is still live parked during this pause; exited
+	// workers that parked before exiting are counted too, so the park
+	// histogram must cover at least the live threads.
+	if h := rep.Histograms["monitor.park_ns"]; h.Count < uint64(parked) {
+		t.Errorf("park histogram count = %d, want >= %d (one per parked thread)", h.Count, parked)
+	}
+}
+
+// TestPauseObsDisabled: a monitor without a registry must behave
+// identically (the nil-registry no-op contract).
+func TestPauseObsDisabled(t *testing.T) {
+	src := `
+func tick(v int) int { return v + 1; }
+func main() {
+	var i int;
+	var acc int;
+	for i = 0; i < 100000; i = i + 1 { acc = tick(acc); }
+}`
+	k, p, pair := start(t, src, isa.SARM, 1)
+	if _, err := k.RunBudget(p, 5_000); err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(k, p, pair.Meta).WithObs(nil)
+	if err := mon.Pause(1 << 20); err != nil {
+		t.Fatalf("pause with nil registry: %v", err)
+	}
+	if !p.Stopped {
+		t.Error("process not stopped")
+	}
+}
