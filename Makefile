@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench bench-json bench-obs
+.PHONY: build vet lint test race check bench bench-json bench-obs
 
 build:
 	$(GO) build ./...
@@ -8,17 +8,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the repo's own analyzers (internal/analysis, docs/analysis.md)
+# over every package, commands and tests included. The repo must stay
+# clean under its own rules; suppress case by case with //lint:ignore.
+lint:
+	$(GO) run ./cmd/dapperlint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: compile everything, vet, run the full test suite
-# under the race detector, and measure the disabled-telemetry overhead
-# (which must stay cheap enough to leave instrumented code unconditional).
+# check is the CI gate: compile everything, vet, run the repo's own
+# analyzers, run the full test suite under the race detector, and measure
+# the disabled-telemetry overhead (which must stay cheap enough to leave
+# instrumented code unconditional).
 check:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./... && $(MAKE) bench-obs
+	$(GO) build ./... && $(GO) vet ./... && $(MAKE) lint && $(GO) test -race ./... && $(MAKE) bench-obs
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

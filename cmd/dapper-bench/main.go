@@ -86,9 +86,12 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if _, err := f.WriteString(md.String()); err != nil {
-			return err
+		_, werr := f.WriteString(md.String())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
 		}
 	}
 	return nil

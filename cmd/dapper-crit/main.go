@@ -1,13 +1,23 @@
 // Command dapper-crit is the CRIT image tool: it decodes a checkpoint
 // image directory (one .img blob as produced by dapperctl) to JSON and
 // encodes JSON back, exactly mirroring CRIU's crit decode/encode workflow
-// the paper extends.
+// the paper extends, and statically verifies image sets against the
+// invariants in internal/imgcheck.
 //
 // Usage:
 //
 //	dapper-crit decode checkpoint.imgdir > checkpoint.json
 //	dapper-crit encode checkpoint.json > checkpoint.imgdir
 //	dapper-crit ls checkpoint.imgdir
+//	dapper-crit verify checkpoint.imgdir
+//	dapper-crit verify base.imgdir delta1.imgdir delta2.imgdir
+//
+// verify checks a self-contained image set — pagemap sorted and
+// non-overlapping, flagged entries carrying no bytes, cores decodable and
+// within their ISA's register file, PCs and stacks mapped — and, given
+// several blobs ordered oldest to newest, an incremental chain's
+// in_parent resolvability and acyclicity. It exits non-zero naming the
+// violated invariant.
 package main
 
 import (
@@ -15,6 +25,7 @@ import (
 	"os"
 
 	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/imgcheck"
 )
 
 func main() {
@@ -25,10 +36,18 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) != 2 {
-		return fmt.Errorf("usage: dapper-crit decode|encode|ls FILE")
+	usage := fmt.Errorf("usage: dapper-crit decode|encode|ls FILE  or  dapper-crit verify FILE...")
+	if len(args) < 2 {
+		return usage
 	}
-	verb, path := args[0], args[1]
+	verb := args[0]
+	if verb == "verify" {
+		return runVerify(args[1:])
+	}
+	if len(args) != 2 {
+		return usage
+	}
+	path := args[1]
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -63,6 +82,34 @@ func run(args []string) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown verb %q (want decode, encode, or ls)", verb)
+		return fmt.Errorf("unknown verb %q (want decode, encode, ls, or verify)", verb)
 	}
+}
+
+// runVerify statically checks one self-contained image blob, or several
+// forming an incremental chain ordered oldest to newest.
+func runVerify(paths []string) error {
+	dirs := make([]*criu.ImageDir, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		dir, err := criu.UnmarshalImageDir(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		dirs = append(dirs, dir)
+	}
+	var err error
+	if len(dirs) == 1 {
+		err = imgcheck.Verify(dirs[0])
+	} else {
+		err = imgcheck.VerifyChain(dirs)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("verify: ok (%d image set(s))\n", len(dirs))
+	return nil
 }

@@ -268,7 +268,7 @@ func cmdMigrate(args []string) error {
 
 // cmdStats runs a full migration with a telemetry registry attached and
 // prints the obs report.
-func cmdStats(args []string) error {
+func cmdStats(args []string) (err error) {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	at := fs.Float64("at", 0.5, "migration position as a fraction of total cycles")
 	lazy := fs.Bool("lazy", false, "post-copy migration (over a real TCP page server)")
@@ -305,7 +305,13 @@ func cmdStats(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer res.Close()
+	// A close failure (leaked page server, wedged client) should fail the
+	// command, but never mask an earlier error.
+	defer func() {
+		if cerr := res.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	// Run to completion so post-copy faults are realized in the report.
 	if err := dstNode.K.Run(res.Proc); err != nil {
 		return err

@@ -1,0 +1,52 @@
+// Command dapperlint runs the repo's own static analyzers (see
+// internal/analysis and docs/analysis.md) over the given packages and
+// exits non-zero on findings.
+//
+// Usage:
+//
+//	dapperlint [patterns...]      # default ./...
+//
+// Output is one finding per line, position-sorted:
+//
+//	path/file.go:12:3: closecheck: result of conn.Close() is dropped; ...
+//
+// Findings are suppressed case by case with a //lint:ignore directive on
+// the finding's line or the line above:
+//
+//	//lint:ignore closecheck double-close during shutdown carries no signal
+//
+// The reason is mandatory; unknown check names and stale directives are
+// findings themselves (stale ones as warnings, which do not affect the
+// exit code).
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/dapper-sim/dapper/internal/analysis"
+	"github.com/dapper-sim/dapper/internal/analysis/checks"
+)
+
+func main() {
+	diags, err := run(".", os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dapperlint:", err)
+		os.Exit(2)
+	}
+	if analysis.HasErrors(diags) {
+		os.Exit(1)
+	}
+}
+
+func run(root string, patterns []string, out io.Writer) ([]analysis.Diagnostic, error) {
+	diags, err := analysis.Run(root, patterns, checks.All())
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	return diags, nil
+}

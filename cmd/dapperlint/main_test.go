@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/analysis"
+)
+
+// TestRunFixtureModule drives the full pipeline — loader, analyzers,
+// suppression, printing — over the toy module in testdata/src: one real
+// closecheck finding, one suppressed, one stale directive.
+func TestRunFixtureModule(t *testing.T) {
+	var out strings.Builder
+	diags, err := run("testdata/src", []string{"./..."}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2 (one real, one stale):\n%s", len(diags), out.String())
+	}
+	if !analysis.HasErrors(diags) {
+		t.Error("the unsuppressed Close() must make the run fail")
+	}
+	text := out.String()
+	for _, want := range []string{
+		"leak/leak.go:8:2: closecheck: result of c.Close() is dropped",
+		"stale lint:ignore closecheck",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// Exactly one error: the suppressed Close() must not be printed.
+	var errs int
+	for _, d := range diags {
+		if d.Severity == analysis.SeverityError {
+			errs++
+		}
+	}
+	if errs != 1 {
+		t.Errorf("got %d errors, want 1:\n%s", errs, text)
+	}
+}
+
+// TestRunBadRoot: a root without a go.mod is a load error, not findings.
+func TestRunBadRoot(t *testing.T) {
+	var out strings.Builder
+	if _, err := run("testdata", nil, &out); err == nil {
+		t.Fatal("want a load error for a root without go.mod")
+	}
+}

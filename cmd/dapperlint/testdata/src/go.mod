@@ -1,0 +1,3 @@
+module example.com/toy
+
+go 1.22

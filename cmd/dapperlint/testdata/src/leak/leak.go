@@ -1,0 +1,17 @@
+// Package leak is a dapperlint end-to-end fixture: one real closecheck
+// finding, one suppressed one, and one stale directive.
+package leak
+
+type conn interface{ Close() error }
+
+func drop(c conn) {
+	c.Close()
+}
+
+func sanctioned(c conn) {
+	//lint:ignore closecheck fixture demonstrates a reasoned discard
+	c.Close()
+}
+
+//lint:ignore closecheck nothing on the next line to suppress
+func clean() {}

@@ -23,7 +23,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	w, err := workloads.Get("rediska")
 	if err != nil {
 		return err
@@ -68,7 +68,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer res.Close()
+	// Close tears down the page server and client; a failure there means
+	// leaked plumbing and should fail the example (without masking an
+	// earlier error).
+	defer func() {
+		if cerr := res.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	bd := res.Breakdown
 	fmt.Printf("post-copy migration to %s: images %d B, checkpoint=%v recode=%v copy=%v restore=%v\n",
 		pi.Spec.Name, bd.ImageBytes, bd.Checkpoint, bd.Recode, bd.Copy, bd.Restore)

@@ -1,0 +1,80 @@
+// Package checks holds the repo's analyzers: one per migration invariant
+// that a past incident showed the type system cannot protect. See
+// docs/analysis.md for the invariant each encodes and the bug that
+// motivated it.
+package checks
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+
+	"github.com/dapper-sim/dapper/internal/analysis"
+)
+
+// All returns every analyzer, the set cmd/dapperlint runs.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Deadlinehygiene,
+		Closecheck,
+		Wallclock,
+		Goreap,
+		Eqpointlock,
+	}
+}
+
+// exprText renders an expression compactly for messages ("cs.conn").
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// methodCall matches a no-receiver-ambiguity method call x.Name(...) and
+// returns the selector, or nil.
+func methodCall(e ast.Expr, names ...string) *ast.SelectorExpr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return sel
+		}
+	}
+	return nil
+}
+
+// eachFuncBody visits every function body in the file — declarations and
+// literals — exactly once, giving analyzers a per-function scope.
+func eachFuncBody(f *ast.File, visit func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Body)
+			}
+		case *ast.FuncLit:
+			visit(fn.Body)
+		}
+		return true
+	})
+}
+
+// scopeInspect walks one function body without descending into nested
+// function literals, which eachFuncBody hands out as their own scopes.
+func scopeInspect(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(n)
+	})
+}

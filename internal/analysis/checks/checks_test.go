@@ -1,0 +1,185 @@
+package checks_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/analysis"
+	"github.com/dapper-sim/dapper/internal/analysis/checks"
+)
+
+// lint parses src as a single file of a package at relPath and runs the
+// given analyzers over it.
+func lint(t *testing.T, relPath, src string, azs ...*analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, relPath+"/src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.TestPackage(fset, relPath, []*ast.File{f}, azs)
+}
+
+// expect asserts the diagnostics' messages contain the given substrings,
+// in order, and nothing else.
+func expect(t *testing.T, diags []analysis.Diagnostic, wants ...string) {
+	t.Helper()
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d findings, want %d: %v", len(diags), len(wants), diags)
+	}
+	for i, w := range wants {
+		if !strings.Contains(diags[i].Message, w) && !strings.Contains(diags[i].Check, w) {
+			t.Errorf("finding %d = %v, want substring %q", i, diags[i], w)
+		}
+	}
+}
+
+func TestDeadlinehygiene(t *testing.T) {
+	// Seeded: result dropped AND never cleared.
+	diags := lint(t, "internal/criu", `package p
+func f(c conn) {
+	c.SetWriteDeadline(now())
+}`, checks.Deadlinehygiene)
+	expect(t, diags, "dropped", "never clears")
+
+	// Seeded: checked but never cleared.
+	diags = lint(t, "internal/criu", `package p
+func f(c conn) error {
+	if err := c.SetReadDeadline(now()); err != nil {
+		return err
+	}
+	return nil
+}`, checks.Deadlinehygiene)
+	expect(t, diags, "never clears")
+
+	// Compliant: checked arm, zero-time clear on the same receiver.
+	diags = lint(t, "internal/criu", `package p
+import "time"
+func f(c conn) error {
+	if err := c.SetWriteDeadline(now()); err != nil {
+		return err
+	}
+	defer func() {
+		_ = c.SetWriteDeadline(time.Time{})
+	}()
+	return nil
+}`, checks.Deadlinehygiene)
+	expect(t, diags)
+}
+
+func TestClosecheck(t *testing.T) {
+	// Seeded: all three dropped forms.
+	diags := lint(t, "internal/criu", `package p
+func f(c conn) {
+	c.Close()
+	defer c.Close()
+	go c.Close()
+}`, checks.Closecheck)
+	expect(t, diags, "dropped", "deferred", "races shutdown")
+
+	// Compliant: checked and explicitly discarded.
+	diags = lint(t, "internal/criu", `package p
+func f(c conn) error {
+	_ = c.Close()
+	return c.Close()
+}
+func g(c conn) error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return nil
+}`, checks.Closecheck)
+	expect(t, diags)
+}
+
+func TestClosecheckSkipsTests(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/criu/x_test.go", `package p
+func f(c conn) { c.Close() }`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.TestPackage(fset, "internal/criu", []*ast.File{f}, []*analysis.Analyzer{checks.Closecheck})
+	expect(t, diags)
+}
+
+func TestWallclock(t *testing.T) {
+	src := `package p
+import "time"
+var t0 = time.Now()
+func f() time.Duration { return time.Since(t0) }`
+
+	// Seeded, inside a modeled-timing package (two findings).
+	diags := lint(t, "internal/cluster", src, checks.Wallclock)
+	expect(t, diags, "time.Now", "time.Since")
+
+	// Identical code outside the scoped packages is fine.
+	diags = lint(t, "internal/workloads", src, checks.Wallclock)
+	expect(t, diags)
+
+	// Aliased import is still caught; time.Sleep is not Now/Since.
+	diags = lint(t, "internal/vm", `package p
+import clock "time"
+func f() { _ = clock.Now(); clock.Sleep(0) }`, checks.Wallclock)
+	expect(t, diags, "time.Now")
+}
+
+func TestGoreap(t *testing.T) {
+	// Seeded: fire-and-forget named call, no Add, no Done.
+	diags := lint(t, "internal/criu", `package p
+func f(s *srv) {
+	go s.loop()
+}`, checks.Goreap)
+	expect(t, diags, "no join/reap path")
+
+	// Compliant: Add before launch, and a Done-carrying literal.
+	diags = lint(t, "internal/cluster", `package p
+func f(s *srv) {
+	s.wg.Add(1)
+	go s.loop()
+	go func() {
+		defer s.wg.Done()
+		s.serve()
+	}()
+}`, checks.Goreap)
+	expect(t, diags)
+
+	// Out of scope: other packages may fire and forget.
+	diags = lint(t, "internal/kernel", `package p
+func f(s *srv) { go s.loop() }`, checks.Goreap)
+	expect(t, diags)
+}
+
+func TestEqpointlock(t *testing.T) {
+	// Seeded: Pause under a held lock (deferred unlock holds to exit).
+	diags := lint(t, "internal/monitor", `package p
+func f(m *mon) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Pause(1)
+}`, checks.Eqpointlock)
+	expect(t, diags, "while a lock is held")
+
+	// Compliant: lock released before the equivalence-point call.
+	diags = lint(t, "internal/monitor", `package p
+func f(m *mon) error {
+	m.mu.Lock()
+	n := m.passes
+	m.mu.Unlock()
+	_ = n
+	return m.Pause(1)
+}`, checks.Eqpointlock)
+	expect(t, diags)
+
+	// Out of scope package.
+	diags = lint(t, "internal/cluster", `package p
+func f(m *mon) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Pause(1)
+}`, checks.Eqpointlock)
+	expect(t, diags)
+}

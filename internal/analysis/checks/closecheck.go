@@ -1,0 +1,43 @@
+package checks
+
+import (
+	"go/ast"
+
+	"github.com/dapper-sim/dapper/internal/analysis"
+)
+
+// Closecheck flags Close() calls whose error is silently dropped: a bare
+// `x.Close()` statement, `defer x.Close()`, or `go x.Close()`. The repo's
+// Close implementations carry real failures (a page server that could not
+// release its listener, an image transfer whose FIN raced a write), so
+// the error must be checked, propagated, or explicitly discarded with
+// `_ = x.Close()` plus a comment saying why the error carries no signal.
+var Closecheck = &analysis.Analyzer{
+	Name:      "closecheck",
+	Doc:       "error-carrying Close() must be checked, propagated, or explicitly discarded",
+	SkipTests: true,
+	Run: func(p *analysis.Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					if sel := methodCall(st.X, "Close"); sel != nil {
+						p.Reportf(st.Pos(), "result of %s.Close() is dropped; check it, or write `_ = %s.Close()` with a reason",
+							exprText(p.Fset, sel.X), exprText(p.Fset, sel.X))
+					}
+				case *ast.DeferStmt:
+					if sel := methodCall(st.Call, "Close"); sel != nil {
+						p.Reportf(st.Pos(), "deferred %s.Close() discards its error; close explicitly and check, or capture the error in a deferred func",
+							exprText(p.Fset, sel.X))
+					}
+				case *ast.GoStmt:
+					if sel := methodCall(st.Call, "Close"); sel != nil {
+						p.Reportf(st.Pos(), "go %s.Close() discards its error and races shutdown; close synchronously",
+							exprText(p.Fset, sel.X))
+					}
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,96 @@
+package checks
+
+import (
+	"go/ast"
+
+	"github.com/dapper-sim/dapper/internal/analysis"
+)
+
+var deadlineMethods = []string{"SetDeadline", "SetReadDeadline", "SetWriteDeadline"}
+
+// Deadlinehygiene enforces the two rules the post-copy transport
+// hardening established for connection deadlines:
+//
+//  1. Set{,Read,Write}Deadline returns an error and it must be looked at —
+//     a deadline that silently failed to arm turns a bounded fetch into an
+//     unbounded hang.
+//  2. A deadline armed on a connection must be cleared (re-armed with the
+//     zero time.Time{}) somewhere in the same function. Pooled connections
+//     outlive the call that armed them; a leftover deadline fires during a
+//     later, unrelated request and poisons the pool.
+//
+// Rule 2 is per-function and syntactic: a function that arms on purpose
+// for the connection's whole life carries a //lint:ignore with the reason.
+var Deadlinehygiene = &analysis.Analyzer{
+	Name: "deadlinehygiene",
+	Doc:  "deadline results must be checked and armed deadlines cleared before the conn is reused",
+	Run: func(p *analysis.Pass) {
+		for _, f := range p.Files {
+			// Rule 1: a deadline call as a bare statement drops the error.
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				if sel := methodCall(st.X, deadlineMethods...); sel != nil {
+					p.Reportf(st.Pos(), "result of %s.%s is dropped; a deadline that failed to arm hangs the transport — check it",
+						exprText(p.Fset, sel.X), sel.Sel.Name)
+				}
+				return true
+			})
+			// Rule 2: per function, every receiver armed with a non-zero
+			// deadline needs a zero-time clear on the same receiver.
+			eachFuncBody(f, func(body *ast.BlockStmt) {
+				type site struct {
+					pos    ast.Node
+					method string
+				}
+				armed := make(map[string]site)
+				cleared := make(map[string]bool)
+				// Arms count only in this scope (a nested literal is its
+				// own scope); clears count anywhere in the body, because
+				// `defer func() { _ = c.SetWriteDeadline(time.Time{}) }()`
+				// is the idiomatic disarm.
+				scopeInspect(body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel := methodCall(call, deadlineMethods...)
+					if sel == nil || len(call.Args) != 1 || isZeroTime(call.Args[0]) {
+						return true
+					}
+					recv := exprText(p.Fset, sel.X)
+					if _, dup := armed[recv]; !dup {
+						armed[recv] = site{pos: call, method: sel.Sel.Name}
+					}
+					return true
+				})
+				ast.Inspect(body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel := methodCall(call, deadlineMethods...)
+					if sel != nil && len(call.Args) == 1 && isZeroTime(call.Args[0]) {
+						cleared[exprText(p.Fset, sel.X)] = true
+					}
+					return true
+				})
+				for recv, s := range armed {
+					if !cleared[recv] {
+						p.Reportf(s.pos.Pos(), "%s.%s arms a deadline that this function never clears; re-arm with time.Time{} before the conn is reused",
+							recv, s.method)
+					}
+				}
+			})
+		}
+	},
+}
+
+// isZeroTime matches the composite literal time.Time{} (or any T{} — the
+// only idiomatic way to clear a deadline).
+func isZeroTime(e ast.Expr) bool {
+	cl, ok := e.(*ast.CompositeLit)
+	return ok && len(cl.Elts) == 0
+}

@@ -1,0 +1,92 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/dapper-sim/dapper/internal/analysis"
+)
+
+// eqPointCalls are the equivalence-point machinery entry points: calls
+// that run (or wait for) guest code reaching an equivalence point.
+var eqPointCalls = map[string]bool{
+	"Pause":       true,
+	"ResumeLocal": true,
+	"Resume":      true,
+	"rollback":    true,
+	"Rollback":    true,
+}
+
+// Eqpointlock forbids calling the equivalence-point machinery while a
+// mutex is held, in internal/vm and internal/monitor. Pause waits for
+// every guest thread to park at an equivalence point; a guest thread may
+// in turn be blocked on host-side state guarded by the same lock — the
+// classic lost-wakeup deadlock shape. The check is positional within one
+// function: after x.Lock()/x.RLock() and before the matching Unlock, the
+// calls above are findings.
+var Eqpointlock = &analysis.Analyzer{
+	Name:      "eqpointlock",
+	Doc:       "no equivalence-point call (Pause/Resume/rollback) while a lock is held",
+	SkipTests: true,
+	Packages:  []string{"internal/vm", "internal/monitor"},
+	Run: func(p *analysis.Pass) {
+		for _, f := range p.Files {
+			eachFuncBody(f, func(body *ast.BlockStmt) {
+				type lockEvent struct {
+					pos  token.Pos
+					lock bool // true = Lock/RLock, false = Unlock/RUnlock
+				}
+				var events []lockEvent
+				scopeInspect(body, func(n ast.Node) bool {
+					switch st := n.(type) {
+					case *ast.DeferStmt:
+						// defer x.Unlock() releases at function exit: record
+						// no event, so the lock reads as held to the end.
+						return false
+					case *ast.CallExpr:
+						if methodCall(st, "Lock", "RLock") != nil {
+							events = append(events, lockEvent{pos: st.Pos(), lock: true})
+						} else if methodCall(st, "Unlock", "RUnlock") != nil {
+							events = append(events, lockEvent{pos: st.Pos(), lock: false})
+						}
+					}
+					return true
+				})
+				if len(events) == 0 {
+					return
+				}
+				held := func(pos token.Pos) bool {
+					h := false
+					for _, e := range events {
+						if e.pos >= pos {
+							break
+						}
+						h = e.lock
+					}
+					return h
+				}
+				scopeInspect(body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					name := ""
+					switch fun := call.Fun.(type) {
+					case *ast.SelectorExpr:
+						name = fun.Sel.Name
+					case *ast.Ident:
+						name = fun.Name
+					}
+					if !eqPointCalls[name] {
+						return true
+					}
+					if held(call.Pos()) {
+						p.Reportf(call.Pos(), "%s is called while a lock is held; Pause/Resume wait on guest threads that may need this lock — release it first",
+							name)
+					}
+					return true
+				})
+			})
+		}
+	},
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Run loads the packages selected by patterns under root, applies every
+// analyzer, resolves //lint:ignore directives, and returns the surviving
+// diagnostics sorted by position. HasErrors on the result decides the
+// exit code.
+func Run(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return runOn(fset, pkgs, analyzers), nil
+}
+
+// runOn is the load-free core, shared with tests that build packages from
+// source strings.
+func runOn(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	var dirs []*directive
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			dirs = append(dirs, collectDirectives(fset, f, &diags)...)
+		}
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.RelPath) {
+				continue
+			}
+			files := pkg.Files
+			if a.SkipTests {
+				files = nonTestFiles(fset, files)
+			}
+			if len(files) == 0 {
+				continue
+			}
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    files,
+				PkgPath:  pkg.RelPath,
+				Info:     pkg.Info,
+				diags:    &diags,
+			})
+		}
+	}
+	out := applyDirectives(diags, dirs, known)
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Pos.IsValid() || !out[j].Pos.IsValid() {
+			return out[j].Pos.IsValid()
+		}
+		if out[i].Pos.Filename != out[j].Pos.Filename || out[i].Pos.Line != out[j].Pos.Line || out[i].Pos.Column != out[j].Pos.Column {
+			return posLess(out[i].Pos, out[j].Pos)
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// HasErrors reports whether any diagnostic is error-severity (warnings —
+// stale suppressions — do not fail the build).
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == SeverityError {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPackage wraps already-parsed files as a Package and runs analyzers
+// over it — the harness the analyzer unit tests use to feed seeded
+// violations from source strings. relPath chooses which package-scoped
+// analyzers apply.
+func TestPackage(fset *token.FileSet, relPath string, files []*ast.File, analyzers []*Analyzer) []Diagnostic {
+	pkg := &Package{Dir: relPath, RelPath: relPath, Files: files}
+	return runOn(fset, []*Package{pkg}, analyzers)
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Suppression directives:
+//
+//	//lint:ignore <check> <reason>
+//
+// A directive silences exactly ONE finding of <check>: the first one (in
+// position order) on the directive's own line or the line below it, so it
+// works both trailing a statement and on its own line above one. The
+// reason is mandatory — a suppression without a rationale is itself a
+// finding — and a directive naming an unknown check is a finding too (it
+// would otherwise rot silently when a check is renamed). A directive that
+// matches nothing is reported as a stale-suppression warning.
+
+type directive struct {
+	pos    token.Position
+	check  string
+	reason string
+	used   bool
+}
+
+const ignorePrefix = "lint:ignore"
+
+// collectDirectives scans a file's comments for lint:ignore directives.
+// Malformed ones (no check name, no reason) are reported immediately as
+// error diagnostics under the synthetic check name "lint".
+func collectDirectives(fset *token.FileSet, f *ast.File, diags *[]Diagnostic) []*directive {
+	var out []*directive
+	for _, grp := range f.Comments {
+		for _, c := range grp.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(strings.TrimLeft(text, " \t"), ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimLeft(text, " \t")[len(ignorePrefix):]
+			fields := strings.Fields(rest)
+			pos := fset.Position(c.Pos())
+			if len(fields) == 0 {
+				*diags = append(*diags, Diagnostic{
+					Pos: pos, Check: "lint", Severity: SeverityError,
+					Message: "lint:ignore needs a check name and a reason",
+				})
+				continue
+			}
+			check := fields[0]
+			reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), check))
+			if reason == "" {
+				*diags = append(*diags, Diagnostic{
+					Pos: pos, Check: "lint", Severity: SeverityError,
+					Message: "lint:ignore " + check + " needs a reason: //lint:ignore " + check + " <why this is safe>",
+				})
+				continue
+			}
+			out = append(out, &directive{pos: pos, check: check, reason: reason})
+		}
+	}
+	return out
+}
+
+// applyDirectives filters diags through the directives: each valid
+// directive removes the first matching finding at its line or the next;
+// unknown check names and stale directives become findings themselves.
+// known maps check names recognized by the current analyzer set.
+func applyDirectives(diags []Diagnostic, dirs []*directive, known map[string]bool) []Diagnostic {
+	sort.Slice(diags, func(i, j int) bool { return posLess(diags[i].Pos, diags[j].Pos) })
+	sort.Slice(dirs, func(i, j int) bool { return posLess(dirs[i].pos, dirs[j].pos) })
+
+	suppressed := make(map[int]bool)
+	var extra []Diagnostic
+	for _, d := range dirs {
+		if !known[d.check] {
+			extra = append(extra, Diagnostic{
+				Pos: d.pos, Check: "lint", Severity: SeverityError,
+				Message: "lint:ignore names unknown check " + quote(d.check),
+			})
+			continue
+		}
+		for i, diag := range diags {
+			if suppressed[i] || diag.Check != d.check || diag.Pos.Filename != d.pos.Filename {
+				continue
+			}
+			if diag.Pos.Line == d.pos.Line || diag.Pos.Line == d.pos.Line+1 {
+				suppressed[i] = true
+				d.used = true
+				break // exactly one finding per directive
+			}
+		}
+		if !d.used {
+			extra = append(extra, Diagnostic{
+				Pos: d.pos, Check: "lint", Severity: SeverityWarning,
+				Message: "stale lint:ignore " + d.check + ": no matching finding here; delete the directive",
+			})
+		}
+	}
+
+	out := make([]Diagnostic, 0, len(diags)+len(extra))
+	for i, diag := range diags {
+		if !suppressed[i] {
+			out = append(out, diag)
+		}
+	}
+	return append(out, extra...)
+}
+
+func quote(s string) string { return `"` + s + `"` }
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

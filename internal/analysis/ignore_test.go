@@ -1,0 +1,161 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/analysis"
+)
+
+// toy flags every call to a function literally named banned().
+var toy = &analysis.Analyzer{
+	Name: "toy",
+	Doc:  "flags banned() calls",
+	Run: func(p *analysis.Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "banned" {
+					p.Reportf(call.Pos(), "banned() is banned")
+				}
+				return true
+			})
+		}
+	},
+}
+
+func runToy(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p/src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.TestPackage(fset, "p", []*ast.File{f}, []*analysis.Analyzer{toy})
+}
+
+// TestIgnoreSilencesExactlyOne: one directive suppresses only the first
+// matching finding in its two-line window, never a second one.
+func TestIgnoreSilencesExactlyOne(t *testing.T) {
+	diags := runToy(t, `package p
+func f() {
+	//lint:ignore toy the first call is part of the protocol
+	banned()
+	banned()
+}`)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1 (only the first suppressed): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 5 {
+		t.Errorf("surviving finding at line %d, want 5", diags[0].Pos.Line)
+	}
+}
+
+// TestIgnoreTrailing: a directive trailing the statement's own line works.
+func TestIgnoreTrailing(t *testing.T) {
+	diags := runToy(t, `package p
+func f() {
+	banned() //lint:ignore toy sanctioned here
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("trailing directive did not suppress: %v", diags)
+	}
+}
+
+// TestIgnoreUnknownCheck: naming a check no analyzer provides is itself
+// an error finding — renames must not rot suppressions silently.
+func TestIgnoreUnknownCheck(t *testing.T) {
+	diags := runToy(t, `package p
+func f() {
+	//lint:ignore nosuchcheck reasons abound
+	banned()
+}`)
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2 (unsuppressed + unknown check): %v", len(diags), diags)
+	}
+	var sawUnknown bool
+	for _, d := range diags {
+		if d.Check == "lint" && strings.Contains(d.Message, `unknown check "nosuchcheck"`) {
+			sawUnknown = true
+			if d.Severity != analysis.SeverityError {
+				t.Error("unknown-check finding should be error severity")
+			}
+		}
+	}
+	if !sawUnknown {
+		t.Errorf("no unknown-check finding in %v", diags)
+	}
+	if !analysis.HasErrors(diags) {
+		t.Error("unknown check must fail the build")
+	}
+}
+
+// TestIgnoreNeedsReason: a bare directive is an error finding.
+func TestIgnoreNeedsReason(t *testing.T) {
+	diags := runToy(t, `package p
+func f() {
+	//lint:ignore toy
+	banned()
+}`)
+	var sawReason bool
+	for _, d := range diags {
+		if d.Check == "lint" && strings.Contains(d.Message, "needs a reason") {
+			sawReason = true
+		}
+	}
+	if !sawReason {
+		t.Fatalf("no needs-a-reason finding in %v", diags)
+	}
+	if !analysis.HasErrors(diags) {
+		t.Error("reasonless directive must fail the build")
+	}
+}
+
+// TestIgnoreStaleWarns: a directive matching nothing is a warning — it
+// flags dead suppressions without failing the build.
+func TestIgnoreStaleWarns(t *testing.T) {
+	diags := runToy(t, `package p
+//lint:ignore toy there used to be a banned() here
+func f() {}`)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1 stale warning: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Severity != analysis.SeverityWarning || !strings.Contains(d.Message, "stale") {
+		t.Errorf("want stale warning, got %v", d)
+	}
+	if analysis.HasErrors(diags) {
+		t.Error("a stale directive alone must not fail the build")
+	}
+}
+
+// TestDiagnosticsSorted: output is position-ordered regardless of the
+// order analyzers reported in.
+func TestDiagnosticsSorted(t *testing.T) {
+	fset := token.NewFileSet()
+	parse := func(name, src string) *ast.File {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	fb := parse("p/b.go", "package p\nfunc b() { banned() }\n")
+	fa := parse("p/a.go", "package p\nfunc a() { banned(); banned() }\n")
+	diags := analysis.TestPackage(fset, "p", []*ast.File{fb, fa}, []*analysis.Analyzer{toy})
+	if len(diags) != 3 {
+		t.Fatalf("got %d findings, want 3", len(diags))
+	}
+	if diags[0].Pos.Filename != "p/a.go" || diags[2].Pos.Filename != "p/b.go" {
+		t.Errorf("not sorted by position: %v", diags)
+	}
+	if diags[0].Pos.Column >= diags[1].Pos.Column {
+		t.Errorf("same-line findings not sorted by column: %v", diags)
+	}
+}

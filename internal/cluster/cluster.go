@@ -13,6 +13,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"github.com/dapper-sim/dapper/internal/compiler"
 	"github.com/dapper-sim/dapper/internal/core"
 	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/imgcheck"
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/monitor"
@@ -220,10 +222,14 @@ type MigrationResult struct {
 func (r *MigrationResult) Close() error {
 	r.closeOnce.Do(func() {
 		if r.pageClient != nil {
-			r.pageClient.Close()
+			if err := r.pageClient.Close(); err != nil {
+				r.closeErr = fmt.Errorf("cluster: page client close: %w", err)
+			}
 		}
 		if r.pageServer != nil {
-			r.closeErr = r.pageServer.Close()
+			if err := r.pageServer.Close(); err != nil {
+				r.closeErr = errors.Join(r.closeErr, fmt.Errorf("cluster: page server close: %w", err))
+			}
 		}
 		if r.srcKernel != nil && r.srcProc != nil {
 			r.srcKernel.Reap(r.srcProc)
@@ -304,15 +310,22 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dump: %w", err)
 	}
+	// Fail fast on the source side: a dump that violates an image
+	// invariant must not be rewritten or shipped.
+	if err := imgcheck.Verify(dir); err != nil {
+		return nil, fmt.Errorf("cluster: dump pre-flight: %w", err)
+	}
 	bd.Checkpoint = CheckpointTime(dir.Size())
 
 	// 2. Rewrite (recode) for the destination architecture, optionally
 	// chaining a stack shuffle (the destination starts with a fresh
 	// layout).
+	//lint:ignore wallclock RecodeHost is real host time by definition, reported separately and never part of modeled downtime
 	hostStart := time.Now()
 	if err := rewriteForDest(dir, src, dst, opts); err != nil {
 		return nil, err
 	}
+	//lint:ignore wallclock RecodeHost is real host time by definition, reported separately and never part of modeled downtime
 	bd.RecodeHost = time.Since(hostStart)
 	bd.Recode = RecodeTime(recodeNode, dir.Size())
 
@@ -390,8 +403,11 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	}
 	client, err := criu.DialPageServerOpts(srv.Addr(), copts)
 	if err != nil {
-		srv.Close()
-		return nil, fmt.Errorf("cluster: page client: %w", err)
+		err = fmt.Errorf("cluster: page client: %w", err)
+		if cerr := srv.Close(); cerr != nil {
+			err = errors.Join(err, fmt.Errorf("cluster: page server close: %w", cerr))
+		}
+		return nil, err
 	}
 	criu.InstallLazyHandler(p2, criu.ObsSource(client, opts.Obs))
 	res.pageServer, res.pageClient = srv, client

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/imgcheck"
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/mem"
 	"github.com/dapper-sim/dapper/internal/monitor"
@@ -95,7 +96,9 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 			return nil, fmt.Errorf("cluster: pre-copy: %w", err)
 		}
 		recv = r
-		defer recv.Close()
+		// Teardown after the chain is flattened and restored: at that
+		// point a receiver close failure cannot lose migration data.
+		defer func() { _ = recv.Close() }()
 	}
 	// ship moves one round's images to the destination and returns the
 	// directory as the destination sees it plus the payload size.
@@ -144,6 +147,12 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 		got, n, err := ship(dir)
 		if err != nil {
 			return nil, err
+		}
+		// Each received link is verified on arrival, so a checkpoint
+		// corrupted in transit fails this round — with the invariant named
+		// — instead of poisoning the flatten after the final pause.
+		if err := imgcheck.VerifyLink(got); err != nil {
+			return nil, fmt.Errorf("cluster: pre-copy round %d received a broken image set: %w", round, err)
 		}
 		chain = append(chain, got)
 		parent = dir
@@ -208,16 +217,22 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 		}
 	}
 
-	// Final delta in hand and the source still paused: flatten the chain
+	// Final delta in hand and the source still paused: verify the chain
+	// end to end (in_parent resolvability, acyclicity), then flatten it
 	// on the destination, recode, restore.
+	if err := imgcheck.VerifyChain(chain); err != nil {
+		return nil, fmt.Errorf("cluster: pre-copy chain: %w", err)
+	}
 	flat, err := criu.FlattenChain(chain)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: pre-copy flatten: %w", err)
 	}
+	//lint:ignore wallclock RecodeHost is real host time by definition, reported separately and never part of modeled downtime
 	hostStart := time.Now()
 	if err := rewriteForDest(flat, src, dst, opts); err != nil {
 		return nil, err
 	}
+	//lint:ignore wallclock RecodeHost is real host time by definition, reported separately and never part of modeled downtime
 	bd.RecodeHost = time.Since(hostStart)
 	// Earlier rounds were recoded as they streamed in (PreCopyTime); the
 	// pause pays the per-image stack rewrite plus the final delta's pages.

@@ -80,7 +80,10 @@ func (r *ImageReceiver) Close() error {
 		r.mu.Unlock()
 		r.closeErr = r.ln.Close()
 		for _, c := range conns {
-			c.Close()
+			// The serving goroutine owns each conn and closes it on its
+			// own exit; this forced close races that benignly, so a
+			// double-close error here carries no signal.
+			_ = c.Close()
 		}
 		r.wg.Wait()
 	})
@@ -135,7 +138,9 @@ func (r *ImageReceiver) acceptLoop() {
 		r.mu.Lock()
 		if r.closed {
 			r.mu.Unlock()
-			conn.Close()
+			// Rejecting an accept that raced Close; there is no caller
+			// to report a close failure to.
+			_ = conn.Close()
 			return
 		}
 		r.conns[conn] = struct{}{}
@@ -144,7 +149,9 @@ func (r *ImageReceiver) acceptLoop() {
 		go func() {
 			defer r.wg.Done()
 			dir, err := readImageDir(conn)
-			conn.Close()
+			// The payload is fully read (or failed and counted); a close
+			// error after that is peer-FIN noise.
+			_ = conn.Close()
 			r.mu.Lock()
 			delete(r.conns, conn)
 			if err != nil {
@@ -167,13 +174,18 @@ func (r *ImageReceiver) acceptLoop() {
 }
 
 // SendImages copies a checkpoint directory to a receiver over TCP,
-// returning the bytes transferred (the scp payload size).
-func SendImages(addr string, dir *criu.ImageDir) (uint64, error) {
+// returning the bytes transferred (the scp payload size). A close failure
+// after the writes is reported: it can mean the payload never flushed.
+func SendImages(addr string, dir *criu.ImageDir) (n uint64, err error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return 0, fmt.Errorf("cluster: send images: %w", err)
 	}
-	defer conn.Close()
+	defer func() {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			n, err = 0, fmt.Errorf("cluster: send images: close: %w", cerr)
+		}
+	}()
 	blob := dir.Marshal()
 	var hdr [8]byte
 	binary.BigEndian.PutUint64(hdr[:], uint64(len(blob)))

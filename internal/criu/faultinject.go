@@ -122,7 +122,9 @@ func (c *flakyConn) Write(b []byte) (int, error) {
 	if c.l.roll.roll(c.l.spec.DropRate) {
 		c.l.drops.Add(1)
 		n, _ := c.Conn.Write(b[:len(b)/2])
-		c.Conn.Close()
+		// The injected Write error below is the fault being delivered; a
+		// close failure on the deliberately-killed conn adds nothing.
+		_ = c.Conn.Close()
 		return n, fmt.Errorf("faultinject: injected connection drop")
 	}
 	return c.Conn.Write(b)

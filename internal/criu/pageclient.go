@@ -383,6 +383,7 @@ func (pc *pageConn) state() (*connState, error) {
 	pc.everAlive = true
 	cs := &connState{conn: conn, pending: make(map[uint32]pendingFetch)}
 	pc.cur = cs
+	//lint:ignore goreap readLoop exits when its conn closes: drop() (called by Close and on any transport error) closes the conn, which unblocks the read
 	go pc.readLoop(cs)
 	return cs, nil
 }
@@ -405,7 +406,9 @@ func (pc *pageConn) drop(cs *connState, err error) {
 	pend := cs.pending
 	cs.pending = nil
 	cs.mu.Unlock()
-	cs.conn.Close()
+	// The incarnation is already condemned (err is being delivered to
+	// every pending fetch); a close failure on it changes nothing.
+	_ = cs.conn.Close()
 	for _, pf := range pend {
 		pf.ch <- pageResult{err: err}
 	}

@@ -96,7 +96,10 @@ func (s *PageServer) Close() error {
 		s.mu.Unlock()
 		s.closeErr = s.ln.Close()
 		for _, c := range conns {
-			c.Close()
+			// Each serving goroutine closes its own conn on exit; this
+			// forced close races that benignly, so a double-close error
+			// carries no signal.
+			_ = c.Close()
 		}
 		s.wg.Wait()
 	})
@@ -115,7 +118,9 @@ func (s *PageServer) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			// Rejecting an accept that raced Close; no caller to report
+			// a close failure to.
+			_ = conn.Close()
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -124,7 +129,10 @@ func (s *PageServer) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			s.serveConn(conn)
-			conn.Close()
+			// serveConn already drained the request stream; PageServer.Close
+			// may have closed the conn first, so an error here is expected
+			// double-close noise.
+			_ = conn.Close()
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/imgcheck"
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/mem"
@@ -45,6 +46,14 @@ var _ BinaryProvider = MapProvider(nil)
 // checker start) and the DAPPER flag is cleared, so the restored process
 // continues transparently.
 func Restore(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider) (*kernel.Process, error) {
+	// Pre-flight: a corrupt or truncated image set (shuffled pagemap,
+	// missing core, flagged entries carrying bytes, ...) must fail here
+	// with a named invariant, not mid-restore with pages installed at the
+	// wrong addresses. VerifyLink permits in_parent entries; the explicit
+	// flatten check below still owns that error.
+	if err := imgcheck.VerifyLink(dir); err != nil {
+		return nil, fmt.Errorf("criu: restore pre-flight: %w", err)
+	}
 	invRaw, ok := dir.Get("inventory.img")
 	if !ok {
 		return nil, fmt.Errorf("criu: missing inventory.img")
@@ -67,6 +76,13 @@ func Restore(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider) (*kernel.
 	}
 	if bin.Arch != inv.Arch {
 		return nil, fmt.Errorf("criu: binary %q is %v but image is %v", files.ExePath, bin.Arch, inv.Arch)
+	}
+	if bin.Meta != nil {
+		// The rewriter trusts the stack map's cross-ISA address alignment;
+		// verify it before nudging any thread through SiteByTrapPC.
+		if err := imgcheck.VerifyMeta(bin.Meta); err != nil {
+			return nil, fmt.Errorf("criu: restore pre-flight: binary %q: %w", files.ExePath, err)
+		}
 	}
 	mmRaw, ok := dir.Get("mm.img")
 	if !ok {

@@ -35,7 +35,7 @@ func (m migMode) String() string {
 // migrateOnceMode generalizes MigrateOnce over the three modes. Every
 // migration runs with a fresh obs registry attached; the returned report
 // carries the span tree and transport counters for the run.
-func migrateOnceMode(w workloads.Workload, c workloads.Class, frac float64, mode migMode) (*cluster.Breakdown, *obs.Report, error) {
+func migrateOnceMode(w workloads.Workload, c workloads.Class, frac float64, mode migMode) (_ *cluster.Breakdown, _ *obs.Report, err error) {
 	xeon, pi, err := newPairOfNodes(w, c)
 	if err != nil {
 		return nil, nil, err
@@ -64,7 +64,13 @@ func migrateOnceMode(w workloads.Workload, c workloads.Class, frac float64, mode
 	if err != nil {
 		return nil, nil, err
 	}
-	defer res.Close()
+	// Leaked lazy plumbing must fail the experiment, not silently skew
+	// later measurements sharing the process.
+	defer func() {
+		if cerr := res.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	// Finish the run so the lazy page traffic is realized.
 	if mode == modeLazy {
 		if err := pi.K.Run(res.Proc); err != nil {
@@ -79,7 +85,7 @@ func migrateOnceMode(w workloads.Workload, c workloads.Class, frac float64, mode
 // given mode. For lazy, post-migration queries realize the paging traffic;
 // for pre-copy, a write burst per round keeps the server dirtying pages
 // while the chain is in flight.
-func migrateRediskaMode(c workloads.Class, db uint64, mode migMode) (*cluster.Breakdown, *obs.Report, error) {
+func migrateRediskaMode(c workloads.Class, db uint64, mode migMode) (_ *cluster.Breakdown, _ *obs.Report, err error) {
 	w, err := workloads.Get("rediska")
 	if err != nil {
 		return nil, nil, err
@@ -128,7 +134,12 @@ func migrateRediskaMode(c workloads.Class, db uint64, mode migMode) (*cluster.Br
 	if err != nil {
 		return nil, nil, err
 	}
-	defer res.Close()
+	// As in migrateOnceMode: leaked lazy plumbing fails the experiment.
+	defer func() {
+		if cerr := res.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	p2 := res.Proc
 	// Query every 10th key to realize post-copy traffic.
 	for k := uint64(0); k < db; k += 10 {

@@ -1,0 +1,648 @@
+// Package image defines DAPPER's checkpoint image formats: the typed
+// views of the files in an image directory (core-<tid>, mm, pagemap,
+// pages, files, inventory) in a protobuf-style wire format, the in-memory
+// ImageDir holding them, and the editable PageSet over pagemap+pages.
+//
+// The decomposition mirrors CRIU's: per-thread register state in core
+// images, the VMA list in mm, resident page runs in pagemap+pages, and
+// the executable path in files — the exact files the DAPPER process
+// rewriter edits. The codec layer lives below internal/criu (which
+// re-exports every type here under its historical names) so that static
+// verifiers such as internal/imgcheck can decode images without pulling
+// in the checkpoint/restore machinery itself.
+package image
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dapper-sim/dapper/internal/imgproto"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/mem"
+)
+
+// CoreImage is core-<tid>.img: one thread's architectural state.
+type CoreImage struct {
+	TID       int         `json:"tid"`
+	Arch      isa.Arch    `json:"arch"`
+	Regs      isa.RegFile `json:"regs"`
+	StackLow  uint64      `json:"stackLow"`
+	StackHigh uint64      `json:"stackHigh"`
+	TLSBlock  uint64      `json:"tlsBlock"`
+}
+
+// Marshal encodes the image.
+func (c *CoreImage) Marshal() []byte {
+	var e imgproto.Encoder
+	e.Uint64(1, uint64(c.TID))
+	e.Uint64(2, uint64(c.Arch))
+	for _, r := range c.Regs.R {
+		e.Fixed64(3, r)
+	}
+	e.Fixed64(4, c.Regs.PC)
+	e.Fixed64(5, c.Regs.TLS)
+	e.Fixed64(6, c.StackLow)
+	e.Fixed64(7, c.StackHigh)
+	e.Fixed64(8, c.TLSBlock)
+	return e.Bytes()
+}
+
+// UnmarshalCore decodes a core image.
+func UnmarshalCore(b []byte) (*CoreImage, error) {
+	c := &CoreImage{}
+	nreg := 0
+	err := imgproto.NewDecoder(b).Each(func(f uint32, d *imgproto.Decoder) error {
+		v, err := d.FieldUint64()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			c.TID = int(v)
+		case 2:
+			c.Arch = isa.Arch(v)
+		case 3:
+			if nreg < isa.NumRegs {
+				c.Regs.R[nreg] = v
+				nreg++
+			}
+		case 4:
+			c.Regs.PC = v
+		case 5:
+			c.Regs.TLS = v
+		case 6:
+			c.StackLow = v
+		case 7:
+			c.StackHigh = v
+		case 8:
+			c.TLSBlock = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("image: core image: %w", err)
+	}
+	return c, nil
+}
+
+// VMAEntry describes one mapped area in the mm image.
+type VMAEntry struct {
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+	Kind  uint8  `json:"kind"`
+	Prot  uint8  `json:"prot"`
+	TID   int    `json:"tid,omitempty"`
+}
+
+// MMImage is mm.img: the address-space description.
+type MMImage struct {
+	VMAs []VMAEntry `json:"vmas"`
+	Brk  uint64     `json:"brk"`
+}
+
+// Marshal encodes the image.
+func (m *MMImage) Marshal() []byte {
+	var e imgproto.Encoder
+	for _, v := range m.VMAs {
+		e.Message(1, func(n *imgproto.Encoder) {
+			n.Fixed64(1, v.Start)
+			n.Fixed64(2, v.End)
+			n.Uint64(3, uint64(v.Kind))
+			n.Uint64(4, uint64(v.Prot))
+			n.Uint64(5, uint64(v.TID))
+		})
+	}
+	e.Fixed64(2, m.Brk)
+	return e.Bytes()
+}
+
+// UnmarshalMM decodes an mm image.
+func UnmarshalMM(b []byte) (*MMImage, error) {
+	m := &MMImage{}
+	err := imgproto.NewDecoder(b).Each(func(f uint32, d *imgproto.Decoder) error {
+		switch f {
+		case 1:
+			var v VMAEntry
+			if err := d.FieldMessage(func(nf uint32, nd *imgproto.Decoder) error {
+				u, err := nd.FieldUint64()
+				if err != nil {
+					return err
+				}
+				switch nf {
+				case 1:
+					v.Start = u
+				case 2:
+					v.End = u
+				case 3:
+					v.Kind = uint8(u)
+				case 4:
+					v.Prot = uint8(u)
+				case 5:
+					v.TID = int(u)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			m.VMAs = append(m.VMAs, v)
+		case 2:
+			u, err := d.FieldUint64()
+			if err != nil {
+				return err
+			}
+			m.Brk = u
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("image: mm image: %w", err)
+	}
+	return m, nil
+}
+
+// PagemapEntry describes a run of pages. Lazy entries have no bytes in
+// pages.img; their content stays on the source node and is served on
+// demand by the page server (post-copy migration). InParent entries
+// (incremental dumps, CRIU's in_parent flag) carry no bytes either: the
+// content is unchanged since the parent checkpoint and resolves through
+// the chain. Zero entries mark all-zero pages whose bytes are elided;
+// restore leaves them demand-zero.
+type PagemapEntry struct {
+	Vaddr    uint64 `json:"vaddr"`
+	NrPages  uint32 `json:"nrPages"`
+	Lazy     bool   `json:"lazy,omitempty"`
+	InParent bool   `json:"inParent,omitempty"`
+	Zero     bool   `json:"zero,omitempty"`
+}
+
+// PagemapImage is pagemap.img: the index into pages.img.
+type PagemapImage struct {
+	Entries []PagemapEntry `json:"entries"`
+}
+
+// Marshal encodes the image.
+func (p *PagemapImage) Marshal() []byte {
+	var e imgproto.Encoder
+	for _, en := range p.Entries {
+		e.Message(1, func(n *imgproto.Encoder) {
+			n.Fixed64(1, en.Vaddr)
+			n.Uint64(2, uint64(en.NrPages))
+			n.Bool(3, en.Lazy)
+			n.Bool(4, en.InParent)
+			n.Bool(5, en.Zero)
+		})
+	}
+	return e.Bytes()
+}
+
+// UnmarshalPagemap decodes a pagemap image.
+func UnmarshalPagemap(b []byte) (*PagemapImage, error) {
+	p := &PagemapImage{}
+	err := imgproto.NewDecoder(b).Each(func(f uint32, d *imgproto.Decoder) error {
+		if f != 1 {
+			return nil
+		}
+		var en PagemapEntry
+		if err := d.FieldMessage(func(nf uint32, nd *imgproto.Decoder) error {
+			switch nf {
+			case 1:
+				u, err := nd.FieldUint64()
+				en.Vaddr = u
+				return err
+			case 2:
+				u, err := nd.FieldUint64()
+				en.NrPages = uint32(u)
+				return err
+			case 3:
+				v, err := nd.FieldBool()
+				en.Lazy = v
+				return err
+			case 4:
+				v, err := nd.FieldBool()
+				en.InParent = v
+				return err
+			case 5:
+				v, err := nd.FieldBool()
+				en.Zero = v
+				return err
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		p.Entries = append(p.Entries, en)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("image: pagemap image: %w", err)
+	}
+	return p, nil
+}
+
+// FilesImage is files.img: the open files (here, the executable).
+type FilesImage struct {
+	ExePath string `json:"exePath"`
+}
+
+// Marshal encodes the image.
+func (f *FilesImage) Marshal() []byte {
+	var e imgproto.Encoder
+	e.String(1, f.ExePath)
+	return e.Bytes()
+}
+
+// UnmarshalFiles decodes a files image.
+func UnmarshalFiles(b []byte) (*FilesImage, error) {
+	f := &FilesImage{}
+	err := imgproto.NewDecoder(b).Each(func(fl uint32, d *imgproto.Decoder) error {
+		if fl == 1 {
+			s, err := d.FieldString()
+			f.ExePath = s
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("image: files image: %w", err)
+	}
+	return f, nil
+}
+
+// MutexEntry is a held mutex recorded in the inventory.
+type MutexEntry struct {
+	ID      uint64 `json:"id"`
+	Holder  int    `json:"holder"`
+	Recurse int    `json:"recurse"`
+}
+
+// InventoryImage is inventory.img: dump-wide facts.
+type InventoryImage struct {
+	Arch    isa.Arch     `json:"arch"`
+	TIDs    []int        `json:"tids"`
+	Mutexes []MutexEntry `json:"mutexes,omitempty"`
+}
+
+// Marshal encodes the image.
+func (iv *InventoryImage) Marshal() []byte {
+	var e imgproto.Encoder
+	e.Uint64(1, uint64(iv.Arch))
+	for _, t := range iv.TIDs {
+		e.Uint64(2, uint64(t))
+	}
+	for _, m := range iv.Mutexes {
+		e.Message(3, func(n *imgproto.Encoder) {
+			n.Uint64(1, m.ID)
+			n.Uint64(2, uint64(m.Holder))
+			n.Uint64(3, uint64(m.Recurse))
+		})
+	}
+	return e.Bytes()
+}
+
+// UnmarshalInventory decodes an inventory image.
+func UnmarshalInventory(b []byte) (*InventoryImage, error) {
+	iv := &InventoryImage{}
+	err := imgproto.NewDecoder(b).Each(func(f uint32, d *imgproto.Decoder) error {
+		switch f {
+		case 1:
+			u, err := d.FieldUint64()
+			iv.Arch = isa.Arch(u)
+			return err
+		case 2:
+			u, err := d.FieldUint64()
+			iv.TIDs = append(iv.TIDs, int(u))
+			return err
+		case 3:
+			var m MutexEntry
+			if err := d.FieldMessage(func(nf uint32, nd *imgproto.Decoder) error {
+				u, err := nd.FieldUint64()
+				if err != nil {
+					return err
+				}
+				switch nf {
+				case 1:
+					m.ID = u
+				case 2:
+					m.Holder = int(u)
+				case 3:
+					m.Recurse = int(u)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			iv.Mutexes = append(iv.Mutexes, m)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("image: inventory image: %w", err)
+	}
+	return iv, nil
+}
+
+// ImageDir is the checkpoint directory (held in memory, like the paper's
+// tmpfs checkpoint target).
+type ImageDir struct {
+	files map[string][]byte
+}
+
+// NewImageDir returns an empty directory.
+func NewImageDir() *ImageDir { return &ImageDir{files: make(map[string][]byte)} }
+
+// Put stores a file.
+func (d *ImageDir) Put(name string, data []byte) { d.files[name] = data }
+
+// Get reads a file.
+func (d *ImageDir) Get(name string) ([]byte, bool) {
+	b, ok := d.files[name]
+	return b, ok
+}
+
+// Names lists files in sorted order.
+func (d *ImageDir) Names() []string {
+	out := make([]string, 0, len(d.files))
+	for n := range d.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns total bytes across all image files (drives the copy-time
+// model).
+func (d *ImageDir) Size() uint64 {
+	var n uint64
+	for _, b := range d.files {
+		n += uint64(len(b))
+	}
+	return n
+}
+
+// Marshal flattens the directory into one blob for network transfer.
+func (d *ImageDir) Marshal() []byte {
+	var e imgproto.Encoder
+	for _, name := range d.Names() {
+		e.Message(1, func(n *imgproto.Encoder) {
+			n.String(1, name)
+			n.BytesField(2, d.files[name])
+		})
+	}
+	return e.Bytes()
+}
+
+// UnmarshalImageDir parses a directory blob.
+func UnmarshalImageDir(b []byte) (*ImageDir, error) {
+	d := NewImageDir()
+	err := imgproto.NewDecoder(b).Each(func(f uint32, dec *imgproto.Decoder) error {
+		if f != 1 {
+			return nil
+		}
+		var name string
+		var data []byte
+		if err := dec.FieldMessage(func(nf uint32, nd *imgproto.Decoder) error {
+			switch nf {
+			case 1:
+				s, err := nd.FieldString()
+				name = s
+				return err
+			case 2:
+				raw, err := nd.FieldBytes()
+				if err != nil {
+					return err
+				}
+				data = make([]byte, len(raw))
+				copy(data, raw)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		d.Put(name, data)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("image: image dir: %w", err)
+	}
+	return d, nil
+}
+
+// PageSet is an editable view of pagemap.img + pages.img: the rewriter
+// loads it, mutates page contents, and stores it back.
+type PageSet struct {
+	// Pages maps page-aligned vaddr -> page bytes (nil for lazy pages).
+	Pages map[uint64][]byte
+	// LazyPages records pages left on the source node.
+	LazyPages map[uint64]bool
+	// ParentPages records pages whose content is unchanged since the
+	// parent checkpoint (incremental dumps); resolve with FlattenChain
+	// before restoring or rewriting.
+	ParentPages map[uint64]bool
+	// ZeroPages records all-zero pages carried by the pagemap alone.
+	ZeroPages map[uint64]bool
+}
+
+// Page classes for the pagemap run coalescer.
+const (
+	pageData = iota
+	pageZero
+	pageParent
+	pageLazy
+)
+
+// classOf reports how the page at a is represented. Data beats the flag
+// maps; a nil entry in Pages keeps its historical "lazy" meaning.
+func (ps *PageSet) classOf(a uint64) int {
+	if pg, ok := ps.Pages[a]; ok && pg != nil {
+		return pageData
+	}
+	switch {
+	case ps.ZeroPages[a]:
+		return pageZero
+	case ps.ParentPages[a]:
+		return pageParent
+	default:
+		return pageLazy
+	}
+}
+
+// LoadPageSet parses the pagemap/pages pair from a directory.
+func LoadPageSet(dir *ImageDir) (*PageSet, error) {
+	pmRaw, ok := dir.Get("pagemap.img")
+	if !ok {
+		return nil, fmt.Errorf("image: missing pagemap.img")
+	}
+	pm, err := UnmarshalPagemap(pmRaw)
+	if err != nil {
+		return nil, err
+	}
+	pages, _ := dir.Get("pages.img")
+	ps := NewPageSet()
+	off := 0
+	for _, en := range pm.Entries {
+		for i := uint32(0); i < en.NrPages; i++ {
+			addr := en.Vaddr + uint64(i)*mem.PageSize
+			switch {
+			case en.Lazy:
+				ps.LazyPages[addr] = true
+				continue
+			case en.InParent:
+				ps.ParentPages[addr] = true
+				continue
+			case en.Zero:
+				ps.ZeroPages[addr] = true
+				continue
+			}
+			if off+mem.PageSize > len(pages) {
+				return nil, fmt.Errorf("image: pages.img truncated at 0x%x", addr)
+			}
+			pg := make([]byte, mem.PageSize)
+			copy(pg, pages[off:off+mem.PageSize])
+			ps.Pages[addr] = pg
+			off += mem.PageSize
+		}
+	}
+	return ps, nil
+}
+
+// NewPageSet returns an empty page set with all maps allocated.
+func NewPageSet() *PageSet {
+	return &PageSet{
+		Pages:       make(map[uint64][]byte),
+		LazyPages:   make(map[uint64]bool),
+		ParentPages: make(map[uint64]bool),
+		ZeroPages:   make(map[uint64]bool),
+	}
+}
+
+// Store serializes the page set back into the directory, coalescing
+// contiguous same-class (data/lazy/in_parent/zero) runs.
+func (ps *PageSet) Store(dir *ImageDir) {
+	seen := make(map[uint64]bool, len(ps.Pages))
+	addrs := make([]uint64, 0, len(ps.Pages)+len(ps.LazyPages)+len(ps.ParentPages)+len(ps.ZeroPages))
+	add := func(a uint64) {
+		if !seen[a] {
+			seen[a] = true
+			addrs = append(addrs, a)
+		}
+	}
+	for a := range ps.Pages {
+		add(a)
+	}
+	for a := range ps.LazyPages {
+		add(a)
+	}
+	for a := range ps.ParentPages {
+		add(a)
+	}
+	for a := range ps.ZeroPages {
+		add(a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var pm PagemapImage
+	var blob []byte
+	for i := 0; i < len(addrs); {
+		a := addrs[i]
+		cls := ps.classOf(a)
+		j := i
+		for j < len(addrs) && addrs[j] == a+uint64(j-i)*mem.PageSize && ps.classOf(addrs[j]) == cls {
+			if cls == pageData {
+				blob = append(blob, ps.Pages[addrs[j]]...)
+			}
+			j++
+		}
+		pm.Entries = append(pm.Entries, PagemapEntry{
+			Vaddr: a, NrPages: uint32(j - i),
+			Lazy: cls == pageLazy, InParent: cls == pageParent, Zero: cls == pageZero,
+		})
+		i = j
+	}
+	dir.Put("pagemap.img", pm.Marshal())
+	dir.Put("pages.img", blob)
+}
+
+// ReadU64 reads a word from the page set (for the stack rewriter). Zero
+// pages read as zero; lazy and in_parent pages have no local bytes.
+func (ps *PageSet) ReadU64(addr uint64) (uint64, error) {
+	base := addr / mem.PageSize * mem.PageSize
+	off := addr % mem.PageSize
+	if off+8 > mem.PageSize {
+		return 0, fmt.Errorf("image: unaligned word read at 0x%x crosses page", addr)
+	}
+	pg, ok := ps.Pages[base]
+	if !ok || pg == nil {
+		if ps.ZeroPages[base] {
+			return 0, nil
+		}
+		if ps.ParentPages[base] {
+			return 0, fmt.Errorf("image: address 0x%x is in the parent checkpoint (flatten the chain first)", addr)
+		}
+		return 0, fmt.Errorf("image: address 0x%x not in dumped pages", addr)
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(pg[off+uint64(i)])
+	}
+	return v, nil
+}
+
+// WriteU64 writes a word, populating the page if absent (zero pages
+// materialize as zeros). Writing into an in_parent page is an error: the
+// local set does not hold its content, so the chain must be flattened
+// first.
+func (ps *PageSet) WriteU64(addr, v uint64) error {
+	base := addr / mem.PageSize * mem.PageSize
+	pg, ok := ps.Pages[base]
+	if !ok || pg == nil {
+		if ps.ParentPages[base] {
+			return fmt.Errorf("image: write at 0x%x hits an in-parent page (flatten the chain first)", addr)
+		}
+		pg = make([]byte, mem.PageSize)
+		ps.Pages[base] = pg
+		delete(ps.LazyPages, base)
+		delete(ps.ZeroPages, base)
+	}
+	off := addr % mem.PageSize
+	if off+8 > mem.PageSize {
+		return fmt.Errorf("image: unaligned word write at 0x%x crosses page", addr)
+	}
+	for i := 0; i < 8; i++ {
+		pg[off+uint64(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// DropRange removes pages overlapping [start, end) from the set.
+func (ps *PageSet) DropRange(start, end uint64) {
+	for a := range ps.Pages {
+		if a >= start && a < end {
+			delete(ps.Pages, a)
+		}
+	}
+	for a := range ps.LazyPages {
+		if a >= start && a < end {
+			delete(ps.LazyPages, a)
+		}
+	}
+	for a := range ps.ParentPages {
+		if a >= start && a < end {
+			delete(ps.ParentPages, a)
+		}
+	}
+	for a := range ps.ZeroPages {
+		if a >= start && a < end {
+			delete(ps.ZeroPages, a)
+		}
+	}
+}
+
+// InstallPage sets a page's full contents.
+func (ps *PageSet) InstallPage(addr uint64, data []byte) {
+	pg := make([]byte, mem.PageSize)
+	copy(pg, data)
+	base := addr / mem.PageSize * mem.PageSize
+	ps.Pages[base] = pg
+	delete(ps.LazyPages, base)
+	delete(ps.ParentPages, base)
+	delete(ps.ZeroPages, base)
+}
