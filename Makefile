@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check bench bench-json bench-obs
+.PHONY: build vet lint test race check bench bench-json bench-obs bench-quick
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,15 @@ bench:
 # and archives it as machine-readable JSON.
 bench-json:
 	$(GO) run ./cmd/dapper-bench -jsonout BENCH_fig7x.json fig7x
+
+# bench-quick exercises the parallel-pipeline benchmarks one iteration
+# each under the race detector (Workers=NumCPU fans out on CI's
+# multicore runners) and regenerates the parpipe table — serial vs
+# parallel host time per stage plus dedup savings — as JSON for the CI
+# artifact.
+bench-quick:
+	$(GO) test -race -run=^$$ -bench='DumpParallel|RewriteThreads|ImgcheckVerify' -benchtime=1x .
+	$(GO) run ./cmd/dapper-bench -jsonout BENCH_parpipe.json parpipe
 
 # bench-obs measures the telemetry fast paths: the Disabled* benchmarks
 # are the nil-registry no-ops every migration pays even with telemetry

@@ -8,6 +8,8 @@
 package dapper
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/dapper-sim/dapper/internal/cluster"
@@ -17,9 +19,11 @@ import (
 	"github.com/dapper-sim/dapper/internal/energy"
 	"github.com/dapper-sim/dapper/internal/experiments"
 	"github.com/dapper-sim/dapper/internal/gadget"
+	"github.com/dapper-sim/dapper/internal/imgcheck"
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/monitor"
+	"github.com/dapper-sim/dapper/internal/obs"
 	"github.com/dapper-sim/dapper/internal/workloads"
 )
 
@@ -317,6 +321,131 @@ func BenchmarkInterpreter_Throughput(b *testing.B) {
 				cycles = p.VCycles
 			}
 			b.ReportMetric(float64(cycles), "guest-cycles/op")
+		})
+	}
+}
+
+// pausedBench compiles the named workload, loads rediska-style input if
+// requested, runs to mid-execution, and pauses at an equivalence point,
+// returning the still-paused process and its nodes.
+func pausedBench(b *testing.B, name string, rediskaKeys uint64) (*cluster.Node, *kernel.Process, *compiler.Pair) {
+	b.Helper()
+	w, err := workloads.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair, err := workloads.CompilePair(w, benchClass)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xeon := cluster.NewNode(cluster.XeonSpec)
+	xeon.Install(name, pair)
+	p, err := xeon.Start(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rediskaKeys > 0 {
+		p.PushInput(workloads.RediskaLoad(rediskaKeys))
+		for i := 0; i < 5_000_000; i++ {
+			st, err := xeon.K.Step(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Blocked == 1 && p.PendingInput() == 0 {
+				break
+			}
+		}
+		p.TakeOutput()
+	} else {
+		// Measure a reference run so the pause lands mid-execution.
+		refNode := cluster.NewNode(cluster.XeonSpec)
+		refNode.Install(name, pair)
+		ref, err := refNode.Start(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := refNode.K.Run(ref); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := xeon.K.RunBudget(p, ref.VCycles/2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mon := monitor.New(xeon.K, p, pair.Meta)
+	if err := mon.Pause(1 << 20); err != nil {
+		b.Fatal(err)
+	}
+	return xeon, p, pair
+}
+
+// BenchmarkDumpParallel measures the sharded page-collection dump at
+// Workers=1 (the historical serial path) versus Workers=NumCPU, plus the
+// dedup-aware dump with its elision metrics. All configurations produce
+// byte-identical pagemap ordering; only host time differs.
+func BenchmarkDumpParallel(b *testing.B) {
+	_, p, _ := pausedBench(b, "rediska", 2000)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := criu.Dump(p, criu.DumpOpts{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("dedup", func(b *testing.B) {
+		reg := obs.New()
+		for i := 0; i < b.N; i++ {
+			if _, err := criu.Dump(p, criu.DumpOpts{Workers: runtime.NumCPU(), Dedup: true, Obs: reg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(reg.Counter("dedup.pages_elided").Value())/float64(b.N), "pages-elided/op")
+		b.ReportMetric(float64(reg.Counter("dedup.bytes_saved").Value())/float64(b.N), "B-saved/op")
+	})
+}
+
+// BenchmarkRewriteThreads measures the cross-ISA rewrite — per-thread
+// core translation plus stack rebuild — at Workers=1 versus NumCPU on a
+// multithreaded PARSEC workload.
+func BenchmarkRewriteThreads(b *testing.B) {
+	xeon, p, _ := pausedBench(b, "streamcluster", 0)
+	dir, err := criu.Dump(p, criu.DumpOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob := dir.Marshal()
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d2, err := criu.UnmarshalImageDir(blob)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := &core.Context{Binaries: xeon.Binaries, Workers: workers}
+				if err := (core.CrossISAPolicy{Target: isa.SARM}).Rewrite(d2, ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkImgcheckVerify measures the static image verifier's sharded
+// sweeps at Workers=1 versus NumCPU over a heap-heavy image set.
+func BenchmarkImgcheckVerify(b *testing.B) {
+	_, p, _ := pausedBench(b, "rediska", 2000)
+	dir, err := criu.Dump(p, criu.DumpOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := imgcheck.VerifyWith(dir, imgcheck.Opts{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -147,6 +147,39 @@ func f(s *srv) {
 }`, checks.Goreap)
 	expect(t, diags)
 
+	// Compliant: a semaphore-bounded literal — the held slot is the reap
+	// (the page client's prefetch pattern).
+	diags = lint(t, "internal/criu", `package p
+func f(c *client) {
+	if !c.sem.TryAcquire() {
+		return
+	}
+	go func() {
+		defer c.sem.Release()
+		c.fetch()
+	}()
+}`, checks.Goreap)
+	expect(t, diags)
+
+	// The worker-pool substrate is in scope: a pool that forgot its
+	// WaitGroup arm is seeded...
+	diags = lint(t, "internal/parallel", `package p
+func f(pool *Pool) {
+	go pool.body()
+}`, checks.Goreap)
+	expect(t, diags, "no join/reap path")
+
+	// ...and the real Pool shape (Add before launch) is compliant.
+	diags = lint(t, "internal/parallel", `package p
+func f(pool *Pool, workers int) {
+	pool.wg.Add(workers)
+	for w := 0; w < workers; w = w + 1 {
+		go pool.body()
+	}
+	pool.wg.Wait()
+}`, checks.Goreap)
+	expect(t, diags)
+
 	// Out of scope: other packages may fire and forget.
 	diags = lint(t, "internal/kernel", `package p
 func f(s *srv) { go s.loop() }`, checks.Goreap)

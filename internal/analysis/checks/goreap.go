@@ -7,15 +7,19 @@ import (
 )
 
 // Goreap requires every goroutine launched in the transport packages
-// (internal/criu, internal/cluster) to have a visible join/reap path. A
-// leaked serving goroutine outlives its migration, holds its connection,
-// and makes "Close waits for the serving goroutines" a lie — the exact
-// leak class the post-copy hardening fixed.
+// (internal/criu, internal/cluster) and in the worker-pool substrate
+// (internal/parallel) to have a visible join/reap path. A leaked serving
+// goroutine outlives its migration, holds its connection, and makes
+// "Close waits for the serving goroutines" a lie — the exact leak class
+// the post-copy hardening fixed.
 //
 // A `go` statement passes if either
 //   - the enclosing function calls .Add(...) (a WaitGroup arm) somewhere
 //     before the launch, or
-//   - the launched function literal itself calls .Done().
+//   - the launched function literal itself calls .Done() (WaitGroup
+//     join) or .Release() (semaphore-bounded fire-and-forget, the page
+//     client's prefetch pattern: the slot is held for the goroutine's
+//     whole lifetime, so draining the semaphore IS the reap).
 //
 // Fire-and-forget goroutines whose lifetime is genuinely bounded another
 // way (reader loops reaped by closing their connection) carry a
@@ -24,7 +28,7 @@ var Goreap = &analysis.Analyzer{
 	Name:      "goreap",
 	Doc:       "goroutines in transport packages need a join/reap path",
 	SkipTests: true,
-	Packages:  []string{"internal/criu", "internal/cluster"},
+	Packages:  []string{"internal/criu", "internal/cluster", "internal/parallel"},
 	Run: func(p *analysis.Pass) {
 		for _, f := range p.Files {
 			eachFuncBody(f, func(body *ast.BlockStmt) {
@@ -49,12 +53,12 @@ var Goreap = &analysis.Analyzer{
 						}
 					}
 					if !armed {
-						if lit, ok := g.Call.Fun.(*ast.FuncLit); ok && callsDone(lit) {
+						if lit, ok := g.Call.Fun.(*ast.FuncLit); ok && callsReap(lit) {
 							armed = true
 						}
 					}
 					if !armed {
-						p.Reportf(g.Pos(), "goroutine has no join/reap path: no WaitGroup.Add before launch and no .Done() in its body; a leaked goroutine outlives the migration")
+						p.Reportf(g.Pos(), "goroutine has no join/reap path: no WaitGroup.Add before launch and no .Done() or .Release() in its body; a leaked goroutine outlives the migration")
 					}
 					return true
 				})
@@ -63,13 +67,17 @@ var Goreap = &analysis.Analyzer{
 	},
 }
 
-// callsDone reports whether the function literal's body calls .Done().
-func callsDone(lit *ast.FuncLit) bool {
+// callsReap reports whether the function literal's body calls .Done()
+// (WaitGroup join) or .Release() (semaphore slot held for the
+// goroutine's lifetime).
+func callsReap(lit *ast.FuncLit) bool {
 	found := false
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && methodCall(call, "Done") != nil {
-			found = true
-			return false
+		if call, ok := n.(*ast.CallExpr); ok {
+			if methodCall(call, "Done") != nil || methodCall(call, "Release") != nil {
+				found = true
+				return false
+			}
 		}
 		return true
 	})

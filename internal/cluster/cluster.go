@@ -188,6 +188,18 @@ type MigrateOpts struct {
 	// modeled phase end-to-end (see internal/obs and
 	// docs/observability.md). Nil disables recording at ~1 ns per site.
 	Obs *obs.Registry
+	// Workers bounds every parallel stage of the migration pipeline:
+	// dump page-shard collection, per-thread core rewrites, the imgcheck
+	// pre-flight sweeps, and transfer framing (see internal/parallel and
+	// docs/perf.md). Values <= 0 select runtime.NumCPU(); 1 reproduces
+	// the historical serial pipeline. Images are byte-identical for
+	// every worker count.
+	Workers int
+	// Dedup content-addresses page payloads in the dump: duplicate 4K
+	// pages become pagemap-only references, shrinking pages.img and the
+	// bytes on the wire ("dedup.pages_elided"/"dedup.bytes_saved" in the
+	// Obs registry). Restore resolves the references transparently.
+	Dedup bool
 }
 
 // MigrationResult couples the restored process with its costs and any
@@ -306,23 +318,25 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	if err := mon.Pause(opts.MaxPauses); err != nil {
 		return nil, fmt.Errorf("cluster: pause: %w", err)
 	}
-	dir, err := criu.Dump(p, criu.DumpOpts{Lazy: opts.Lazy, Obs: opts.Obs})
+	dir, err := criu.Dump(p, criu.DumpOpts{Lazy: opts.Lazy, Obs: opts.Obs, Workers: opts.Workers, Dedup: opts.Dedup})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dump: %w", err)
 	}
 	// Fail fast on the source side: a dump that violates an image
 	// invariant must not be rewritten or shipped.
-	if err := imgcheck.Verify(dir); err != nil {
+	if err := imgcheck.VerifyWith(dir, imgcheck.Opts{Workers: opts.Workers}); err != nil {
 		return nil, fmt.Errorf("cluster: dump pre-flight: %w", err)
 	}
 	bd.Checkpoint = CheckpointTime(dir.Size())
 
 	// 2. Rewrite (recode) for the destination architecture, optionally
 	// chaining a stack shuffle (the destination starts with a fresh
-	// layout).
+	// layout). The shipper pre-frames core images as rewrite workers
+	// finish them, overlapping transfer framing with the rewrite stage.
+	sh := newShipper()
 	//lint:ignore wallclock RecodeHost is real host time by definition, reported separately and never part of modeled downtime
 	hostStart := time.Now()
-	if err := rewriteForDest(dir, src, dst, opts); err != nil {
+	if err := rewriteForDest(dir, src, dst, opts, sh.OnFile); err != nil {
 		return nil, err
 	}
 	//lint:ignore wallclock RecodeHost is real host time by definition, reported separately and never part of modeled downtime
@@ -330,7 +344,7 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	bd.Recode = RecodeTime(recodeNode, dir.Size())
 
 	// 3. Copy images over the link (scp).
-	blob := dir.Marshal()
+	blob := sh.marshal(dir, opts.Workers)
 	bd.ImageBytes = uint64(len(blob))
 	bd.Copy = link.TransferTime(bd.ImageBytes)
 	dir2, err := criu.UnmarshalImageDir(blob)
@@ -416,9 +430,11 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 
 // rewriteForDest runs the recode pipeline on an image directory: the
 // cross-ISA rewrite when the architectures differ, then the optional
-// stack shuffle. Shared by the vanilla/lazy and pre-copy paths.
-func rewriteForDest(dir *criu.ImageDir, src, dst *Node, opts MigrateOpts) error {
-	ctx := &core.Context{Binaries: src.Binaries}
+// stack shuffle. Shared by the vanilla/lazy and pre-copy paths. onFile,
+// when non-nil, observes each finalized core image from the rewrite
+// workers (see core.Context.OnFile) so shipping can overlap rewriting.
+func rewriteForDest(dir *criu.ImageDir, src, dst *Node, opts MigrateOpts, onFile func(name string, data []byte)) error {
+	ctx := &core.Context{Binaries: src.Binaries, Workers: opts.Workers, Obs: opts.Obs, OnFile: onFile}
 	if src.Spec.Arch != dst.Spec.Arch {
 		policy := core.CrossISAPolicy{Target: dst.Spec.Arch}
 		if err := policy.Rewrite(dir, ctx); err != nil {

@@ -139,7 +139,7 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 		if err := mon.Pause(opts.MaxPauses); err != nil {
 			return nil, fmt.Errorf("cluster: pre-copy pause (round %d): %w", round, err)
 		}
-		dir, err := criu.Dump(p, criu.DumpOpts{Parent: parent, TrackMem: true, Obs: reg})
+		dir, err := criu.Dump(p, criu.DumpOpts{Parent: parent, TrackMem: true, Obs: reg, Workers: opts.Workers, Dedup: opts.Dedup})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: pre-copy dump (round %d): %w", round, err)
 		}
@@ -151,7 +151,7 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 		// Each received link is verified on arrival, so a checkpoint
 		// corrupted in transit fails this round — with the invariant named
 		// — instead of poisoning the flatten after the final pause.
-		if err := imgcheck.VerifyLink(got); err != nil {
+		if err := imgcheck.VerifyLinkWith(got, imgcheck.Opts{Workers: opts.Workers}); err != nil {
 			return nil, fmt.Errorf("cluster: pre-copy round %d received a broken image set: %w", round, err)
 		}
 		chain = append(chain, got)
@@ -220,7 +220,7 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 	// Final delta in hand and the source still paused: verify the chain
 	// end to end (in_parent resolvability, acyclicity), then flatten it
 	// on the destination, recode, restore.
-	if err := imgcheck.VerifyChain(chain); err != nil {
+	if err := imgcheck.VerifyChainWith(chain, imgcheck.Opts{Workers: opts.Workers}); err != nil {
 		return nil, fmt.Errorf("cluster: pre-copy chain: %w", err)
 	}
 	flat, err := criu.FlattenChain(chain)
@@ -229,7 +229,7 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 	}
 	//lint:ignore wallclock RecodeHost is real host time by definition, reported separately and never part of modeled downtime
 	hostStart := time.Now()
-	if err := rewriteForDest(flat, src, dst, opts); err != nil {
+	if err := rewriteForDest(flat, src, dst, opts, nil); err != nil {
 		return nil, err
 	}
 	//lint:ignore wallclock RecodeHost is real host time by definition, reported separately and never part of modeled downtime

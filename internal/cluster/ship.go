@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"sync"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/parallel"
+)
+
+// shipper overlaps transfer framing with the rewrite stage: rewrite
+// workers hand it each finalized core image (via core.Context.OnFile)
+// and it pre-builds the wire frame for that file while other threads
+// are still rewriting. marshal then splices pre-built frames into the
+// transfer blob and frames only the files that changed after their
+// OnFile call (or never had one) — producing output byte-identical to
+// ImageDir.Marshal, which is the FrameFile concatenation contract.
+type shipper struct {
+	mu     sync.Mutex
+	frames map[string]shipFrame
+}
+
+// shipFrame is one pre-built wire frame plus the exact marshaled bytes
+// it was built from, kept for the freshness check in marshal.
+type shipFrame struct {
+	src   []byte
+	frame []byte
+}
+
+func newShipper() *shipper {
+	return &shipper{frames: make(map[string]shipFrame)}
+}
+
+// OnFile records a finalized image file and pre-frames it. Safe for
+// concurrent calls; a later call for the same name wins (a policy chain
+// may rewrite the same core twice, e.g. cross-ISA then shuffle).
+func (s *shipper) OnFile(name string, data []byte) {
+	frame := criu.FrameFile(name, data)
+	s.mu.Lock()
+	s.frames[name] = shipFrame{src: data, frame: frame}
+	s.mu.Unlock()
+}
+
+// sameBytes reports whether a and b are the same byte slice (identical
+// backing array and length), which proves a pre-built frame was built
+// from exactly the bytes the directory now holds.
+func sameBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// marshal flattens dir for transfer, reusing pre-built frames when they
+// are provably fresh and framing the rest over the worker pool. The
+// result is byte-identical to dir.Marshal() for every worker count and
+// every pattern of OnFile calls.
+func (s *shipper) marshal(dir *criu.ImageDir, workers int) []byte {
+	names := dir.Names()
+	frames := make([][]byte, len(names))
+	_ = parallel.New(workers).ForEach(len(names), func(i int) error {
+		data, _ := dir.Get(names[i])
+		s.mu.Lock()
+		f, ok := s.frames[names[i]]
+		s.mu.Unlock()
+		if ok && sameBytes(f.src, data) {
+			frames[i] = f.frame
+			return nil
+		}
+		frames[i] = criu.FrameFile(names[i], data)
+		return nil
+	})
+	total := 0
+	for _, f := range frames {
+		total += len(f)
+	}
+	blob := make([]byte, 0, total)
+	for _, f := range frames {
+		blob = append(blob, f...)
+	}
+	return blob
+}

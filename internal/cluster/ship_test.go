@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+)
+
+// TestShipperMarshalIdentity pins the overlap transfer contract: the
+// shipper's output is byte-identical to ImageDir.Marshal for any worker
+// count, pre-framed blobs are reused only while they still back the
+// directory entry (slice identity), and stale pre-frames are silently
+// re-framed from the directory.
+func TestShipperMarshalIdentity(t *testing.T) {
+	dir := criu.NewImageDir()
+	dir.Put("core-1.img", []byte{1, 2, 3})
+	dir.Put("mm.img", bytes.Repeat([]byte{0x5A}, 4096))
+	dir.Put("pages.img", bytes.Repeat([]byte{7}, 3*4096))
+	dir.Put("empty.img", []byte{})
+	want := dir.Marshal()
+
+	sh := newShipper()
+	// Fresh pre-frame: the exact slice the directory holds.
+	core, _ := dir.Get("core-1.img")
+	sh.OnFile("core-1.img", core)
+	// Stale pre-frame: equal bytes but a different backing array, as if
+	// the entry was overwritten after the hook fired.
+	mm, _ := dir.Get("mm.img")
+	sh.OnFile("mm.img", append([]byte(nil), mm...))
+	// A pre-frame for a file that is no longer in the directory at all.
+	sh.OnFile("gone.img", []byte{9, 9})
+
+	for _, workers := range []int{1, 2, 8} {
+		got := sh.marshal(dir, workers)
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: shipper output differs from dir.Marshal (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+	// Last-wins: a second OnFile for the same name replaces the first
+	// (the shuffle-after-crossISA rewrite chain), and the result still
+	// matches the directory.
+	sh.OnFile("core-1.img", append([]byte(nil), core...))
+	sh.OnFile("core-1.img", core)
+	if got := sh.marshal(dir, 4); !bytes.Equal(got, want) {
+		t.Error("last-wins pre-frame broke marshal identity")
+	}
+}

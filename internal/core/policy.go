@@ -7,11 +7,27 @@ import (
 	"github.com/dapper-sim/dapper/internal/criu"
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/obs"
 )
 
-// Context supplies a policy's environment: how to resolve executables.
+// Context supplies a policy's environment: how to resolve executables
+// and how much the rewrite stage may fan out.
 type Context struct {
 	Binaries criu.BinaryProvider
+	// Workers bounds the per-thread rewrite fan-out: values <= 0 select
+	// runtime.NumCPU(), 1 reproduces the historical serial loop. Any
+	// worker count produces identical images (each thread's rewrite is
+	// confined to its own stack range).
+	Workers int
+	// Obs, if set, receives rewrite telemetry: "rewrite.par_ns" (wall
+	// time of the whole per-thread fan-out) and "rewrite.threads".
+	Obs *obs.Registry
+	// OnFile, if set, is called from rewrite workers as each thread's
+	// core image is finalized, with the image filename and its marshaled
+	// bytes. The cluster transfer path uses it to overlap image framing
+	// and shipping with the rewrite stage. Implementations must be safe
+	// for concurrent calls.
+	OnFile func(name string, data []byte)
 }
 
 // Policy transforms a checkpoint image directory in place. Policies are
@@ -110,21 +126,9 @@ func (p CrossISAPolicy) Rewrite(dir *criu.ImageDir, ctx *Context) error {
 	src := Side{Arch: srcArch, Meta: srcBin.Meta}
 	dst := Side{Arch: dstArch, Meta: dstBin.Meta}
 
-	var newCores []*criu.CoreImage
-	for _, tid := range inv.TIDs {
-		raw, ok := dir.Get(criu.CoreName(tid))
-		if !ok {
-			return fmt.Errorf("core: missing %s", criu.CoreName(tid))
-		}
-		c, err := criu.UnmarshalCore(raw)
-		if err != nil {
-			return err
-		}
-		nc, err := RewriteThread(c, ps, src, dst)
-		if err != nil {
-			return fmt.Errorf("core: thread %d: %w", tid, err)
-		}
-		newCores = append(newCores, nc)
+	newCores, coreBlobs, err := rewriteThreads(dir, ps, inv.TIDs, src, dst, ctx, "core: thread")
+	if err != nil {
+		return err
 	}
 
 	// Replace the execution-context code pages with the destination
@@ -146,8 +150,8 @@ func (p CrossISAPolicy) Rewrite(dir *criu.ImageDir, ctx *Context) error {
 		return fmt.Errorf("core: clear flag: %w", err)
 	}
 
-	for _, nc := range newCores {
-		dir.Put(criu.CoreName(nc.TID), nc.Marshal())
+	for i, nc := range newCores {
+		dir.Put(criu.CoreName(nc.TID), coreBlobs[i])
 	}
 	inv.Arch = dstArch
 	dir.Put("inventory.img", inv.Marshal())

@@ -274,21 +274,9 @@ func (p StackShufflePolicy) Rewrite(dir *criu.ImageDir, ctx *Context) error {
 	}
 	src := Side{Arch: inv.Arch, Meta: bin.Meta}
 	dst := Side{Arch: inv.Arch, Meta: shuffled.Meta}
-	var newCores []*criu.CoreImage
-	for _, tid := range inv.TIDs {
-		raw, ok := dir.Get(criu.CoreName(tid))
-		if !ok {
-			return fmt.Errorf("core: missing %s", criu.CoreName(tid))
-		}
-		c, err := criu.UnmarshalCore(raw)
-		if err != nil {
-			return err
-		}
-		nc, err := RewriteThread(c, ps, src, dst)
-		if err != nil {
-			return fmt.Errorf("core: shuffle thread %d: %w", tid, err)
-		}
-		newCores = append(newCores, nc)
+	newCores, coreBlobs, err := rewriteThreads(dir, ps, inv.TIDs, src, dst, ctx, "core: shuffle thread")
+	if err != nil {
+		return err
 	}
 
 	// Swap the execution-context code pages for the instrumented text.
@@ -305,8 +293,8 @@ func (p StackShufflePolicy) Rewrite(dir *criu.ImageDir, ctx *Context) error {
 	if err := ps.WriteU64(isa.FlagAddr, 0); err != nil {
 		return err
 	}
-	for _, nc := range newCores {
-		dir.Put(criu.CoreName(nc.TID), nc.Marshal())
+	for i, nc := range newCores {
+		dir.Put(criu.CoreName(nc.TID), coreBlobs[i])
 	}
 	ps.Store(dir)
 	// Publish the instrumented binary at the original path so restore

@@ -41,6 +41,10 @@ type (
 	ImageDir = image.ImageDir
 	// PageSet is an editable view of pagemap.img + pages.img.
 	PageSet = image.PageSet
+	// StoreOpts selects optional PageSet.Store encodings (page dedup).
+	StoreOpts = image.StoreOpts
+	// StoreStats reports what a dedup-aware store elided.
+	StoreStats = image.StoreStats
 )
 
 // UnmarshalCore decodes a core image.
@@ -63,6 +67,11 @@ func NewImageDir() *ImageDir { return image.NewImageDir() }
 
 // UnmarshalImageDir parses a directory blob.
 func UnmarshalImageDir(b []byte) (*ImageDir, error) { return image.UnmarshalImageDir(b) }
+
+// FrameFile encodes one directory entry exactly as it appears inside
+// ImageDir.Marshal; concatenating frames over sorted names reproduces
+// Marshal byte for byte (the parallel transfer path's contract).
+func FrameFile(name string, data []byte) []byte { return image.FrameFile(name, data) }
 
 // NewPageSet returns an empty page set with all maps allocated.
 func NewPageSet() *PageSet { return image.NewPageSet() }

@@ -10,6 +10,7 @@ import (
 
 	"github.com/dapper-sim/dapper/internal/mem"
 	"github.com/dapper-sim/dapper/internal/obs"
+	"github.com/dapper-sim/dapper/internal/parallel"
 )
 
 // PageClientOpts tunes the resilient page client. The zero value selects
@@ -36,6 +37,14 @@ type PageClientOpts struct {
 	// latency for sequential access patterns. Prefetched pages are held
 	// in a bounded cache until the fault handler asks for them.
 	Prefetch int
+	// PrefetchWorkers bounds the number of concurrent prefetch requests
+	// regardless of the window size (values <= 0 select
+	// max(runtime.NumCPU(), 8), so typical windows still fill on small
+	// machines). When every slot is busy, the remaining pages of a
+	// window are skipped rather than queued — they will be
+	// demand-fetched with retries if actually faulted — so a large
+	// Prefetch can never spawn an unbounded goroutine fan-out.
+	PrefetchWorkers int
 	// DialTimeout bounds one (re)connection attempt (default 1s).
 	DialTimeout time.Duration
 	// Dial overrides the dialer; tests inject faulty transports here.
@@ -64,6 +73,12 @@ func (o PageClientOpts) withDefaults() PageClientOpts {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = time.Second
 	}
+	if o.PrefetchWorkers <= 0 {
+		o.PrefetchWorkers = parallel.Normalize(0)
+		if o.PrefetchWorkers < 8 {
+			o.PrefetchWorkers = 8
+		}
+	}
 	return o
 }
 
@@ -82,6 +97,11 @@ type PageClientStats struct {
 	PrefetchIssued uint64
 	Prefetched     uint64
 	PrefetchHits   uint64
+	// PrefetchSkipped counts window pages skipped because every
+	// PrefetchWorkers slot was busy; PrefetchPeak is the highest number
+	// of prefetch requests ever in flight at once (always <= the bound).
+	PrefetchSkipped uint64
+	PrefetchPeak    uint64
 }
 
 // ErrPageClientClosed is returned by FetchPage after Close.
@@ -115,6 +135,13 @@ type RemotePageSource struct {
 
 	closeOnce  sync.Once
 	prefetchWG sync.WaitGroup
+	// prefSem bounds the prefetch goroutine fan-out to
+	// PrefetchWorkers slots; prefActive/prefPeak track the realized
+	// concurrency (peak is reported in Stats and pinned by tests).
+	prefSem    *parallel.Semaphore
+	prefSkips  *obs.Counter
+	prefActive atomic.Int64
+	prefPeak   atomic.Int64
 }
 
 // DialPageServer connects to a page server with default options.
@@ -144,7 +171,9 @@ func DialPageServerOpts(addr string, opts PageClientOpts) (*RemotePageSource, er
 	c.prefIssued = reg.Counter("pageclient.prefetch_issued")
 	c.prefDone = reg.Counter("pageclient.prefetched")
 	c.prefHits = reg.Counter("pageclient.prefetch_hits")
+	c.prefSkips = reg.Counter("pageclient.prefetch_skipped")
 	c.faultLat = reg.Histogram("pageclient.fault_ns")
+	c.prefSem = parallel.NewSemaphore(c.opts.PrefetchWorkers)
 	c.conns = make([]*pageConn, c.opts.Conns)
 	for i := range c.conns {
 		c.conns[i] = &pageConn{client: c}
@@ -164,9 +193,11 @@ func (c *RemotePageSource) Stats() PageClientStats {
 		Timeouts:       c.timeouts.Value(),
 		RemoteErrors:   c.remoteErrs.Value(),
 		BytesRead:      c.bytes.Value(),
-		PrefetchIssued: c.prefIssued.Value(),
-		Prefetched:     c.prefDone.Value(),
-		PrefetchHits:   c.prefHits.Value(),
+		PrefetchIssued:  c.prefIssued.Value(),
+		Prefetched:      c.prefDone.Value(),
+		PrefetchHits:    c.prefHits.Value(),
+		PrefetchSkipped: c.prefSkips.Value(),
+		PrefetchPeak:    uint64(c.prefPeak.Load()),
 	}
 }
 
@@ -313,17 +344,29 @@ func (c *RemotePageSource) cacheAbort(addr uint64) {
 
 // maybePrefetch speculatively requests the window of pages following addr.
 // Prefetches are single-attempt and best-effort: a failure just means the
-// page will be demand-fetched (with retries) when actually faulted.
+// page will be demand-fetched (with retries) when actually faulted. The
+// fan-out is bounded by PrefetchWorkers semaphore slots — each goroutine
+// holds a slot from before it is spawned until it exits, so no window
+// size can exceed the bound; pages past the bound are skipped, not
+// queued.
 func (c *RemotePageSource) maybePrefetch(addr uint64) {
 	for i := 1; i <= c.opts.Prefetch; i++ {
 		paddr := addr + uint64(i)*mem.PageSize
+		if !c.prefSem.TryAcquire() {
+			c.prefSkips.Add(uint64(c.opts.Prefetch - i + 1))
+			return
+		}
 		if !c.cacheReserve(paddr) {
+			c.prefSem.Release()
 			continue
 		}
 		c.prefIssued.Inc()
+		c.notePrefetchStart()
 		c.prefetchWG.Add(1)
 		go func(paddr uint64) {
 			defer c.prefetchWG.Done()
+			defer c.prefSem.Release()
+			defer c.prefActive.Add(-1)
 			page, err := c.pick().roundTrip(paddr, c.opts.FetchTimeout)
 			if err != nil {
 				c.cacheAbort(paddr)
@@ -331,6 +374,18 @@ func (c *RemotePageSource) maybePrefetch(addr uint64) {
 			}
 			c.cacheFill(paddr, page)
 		}(paddr)
+	}
+}
+
+// notePrefetchStart counts a prefetch slot as active (from before its
+// goroutine is spawned) and folds the new level into the peak.
+func (c *RemotePageSource) notePrefetchStart() {
+	n := c.prefActive.Add(1)
+	for {
+		p := c.prefPeak.Load()
+		if n <= p || c.prefPeak.CompareAndSwap(p, n) {
+			return
+		}
 	}
 }
 

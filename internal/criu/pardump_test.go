@@ -1,0 +1,253 @@
+package criu_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/monitor"
+	"github.com/dapper-sim/dapper/internal/obs"
+)
+
+// dupHeavy fills a large array with a pattern that repeats every 512
+// ints — exactly one 4K page — so the resident set is full of
+// byte-identical nonzero pages, the case content-addressed dedup elides.
+// Equivalence points live at function entry, so the post-fill work sits
+// in a callee the monitor can pause between calls to.
+const dupHeavy = `
+var data[8192] int;
+var sum int;
+func fill() {
+	var i int;
+	for i = 0; i < 8192; i = i + 1 {
+		data[i] = (i % 512) + 7;
+	}
+}
+func step(round int) {
+	sum = sum + data[(round * 512) % 8192];
+}
+func main() {
+	var round int;
+	fill();
+	for round = 0; round < 4096; round = round + 1 {
+		step(round);
+	}
+	printi(sum);
+}`
+
+// pausedDupProc compiles dupHeavy, runs it past the fill loop, and
+// pauses it at an equivalence point with the duplicate-heavy pages
+// resident, ready to dump.
+func pausedDupProc(t *testing.T) *kernel.Process {
+	t.Helper()
+	pair, err := compiler.Compile(dupHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(kernel.Config{Cores: 2, Quantum: 97})
+	p, err := k.StartProcess(pair.X86.LoadSpec("/bin/dup.sx86"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive, err := k.RunBudget(p, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alive {
+		t.Fatal("program finished before the dump point; shrink the budget")
+	}
+	mon := monitor.New(k, p, pair.Meta)
+	if err := mon.Pause(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDumpWorkersByteIdentical is the golden-output test for the
+// parallel dump: for every worker count — and with dedup on or off —
+// the marshaled image directory must be byte-identical, because the
+// page-set coalescer sorts addresses before encoding.
+func TestDumpWorkersByteIdentical(t *testing.T) {
+	p := pausedDupProc(t)
+	for _, dedup := range []bool{false, true} {
+		var golden []byte
+		for _, workers := range []int{1, 2, 3, 8} {
+			dir, err := criu.Dump(p, criu.DumpOpts{Workers: workers, Dedup: dedup})
+			if err != nil {
+				t.Fatalf("dedup=%v workers=%d: %v", dedup, workers, err)
+			}
+			blob := dir.Marshal()
+			if golden == nil {
+				golden = blob
+				continue
+			}
+			if !bytes.Equal(blob, golden) {
+				t.Fatalf("dedup=%v workers=%d: dump differs from workers=1 output (%d vs %d bytes)",
+					dedup, workers, len(blob), len(golden))
+			}
+		}
+	}
+}
+
+// TestDumpDedupElidesAndResolves checks the dedup encoding end to end:
+// the duplicate-heavy dump must shrink pages.img, record its savings in
+// the obs counters, and still load back to exactly the same page
+// contents as the plain dump.
+func TestDumpDedupElidesAndResolves(t *testing.T) {
+	p := pausedDupProc(t)
+	plain, err := criu.Dump(p, criu.DumpOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	dedup, err := criu.Dump(p, criu.DumpOpts{Dedup: true, Workers: 4, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plainPages, _ := plain.Get("pages.img")
+	dedupPages, _ := dedup.Get("pages.img")
+	if len(dedupPages) >= len(plainPages) {
+		t.Fatalf("dedup saved nothing: pages.img %d -> %d bytes", len(plainPages), len(dedupPages))
+	}
+	if got := reg.Counter("dedup.pages_elided").Value(); got == 0 {
+		t.Error("dedup.pages_elided = 0 on a duplicate-heavy dump")
+	}
+	if got := reg.Counter("dedup.bytes_saved").Value(); got != uint64(len(plainPages)-len(dedupPages)) {
+		t.Errorf("dedup.bytes_saved = %d, want %d", got, len(plainPages)-len(dedupPages))
+	}
+
+	// The dedup references must resolve to exactly the plain contents.
+	psPlain, err := criu.LoadPageSet(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psDedup, err := criu.LoadPageSet(dedup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psPlain.Pages) != len(psDedup.Pages) {
+		t.Fatalf("page count differs after dedup resolution: %d vs %d", len(psPlain.Pages), len(psDedup.Pages))
+	}
+	for addr, want := range psPlain.Pages {
+		if got, ok := psDedup.Pages[addr]; !ok || !bytes.Equal(got, want) {
+			t.Fatalf("page 0x%x differs after dedup resolution", addr)
+		}
+	}
+}
+
+// TestRestoreFromDedupImages proves a dedup-encoded checkpoint restores
+// and runs to completion with exactly the output of a plain one.
+func TestRestoreFromDedupImages(t *testing.T) {
+	run := func(dedup bool) string {
+		p := pausedDupProc(t)
+		dir, err := criu.Dump(p, criu.DumpOpts{Dedup: dedup, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pair, err := compiler.Compile(dupHeavy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2 := kernel.New(kernel.Config{})
+		prov := criu.MapProvider{"/bin/dup.sx86": pair.X86}
+		p2, err := criu.Restore(k2, dir, prov)
+		if err != nil {
+			t.Fatalf("restore (dedup=%v): %v", dedup, err)
+		}
+		if err := k2.Run(p2); err != nil {
+			t.Fatalf("run (dedup=%v): %v", dedup, err)
+		}
+		return p2.ConsoleString()
+	}
+	plainOut := run(false)
+	dedupOut := run(true)
+	if plainOut == "" {
+		t.Fatal("restored run produced no output")
+	}
+	if plainOut != dedupOut {
+		t.Fatalf("output differs: plain %q vs dedup %q", plainOut, dedupOut)
+	}
+}
+
+// TestCRITDedupRoundTrip checks the CRIT JSON path round-trips the new
+// dedup pagemap fields losslessly.
+func TestCRITDedupRoundTrip(t *testing.T) {
+	p := pausedDupProc(t)
+	dir, err := criu.Dump(p, criu.DumpOpts{Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := criu.DecodeJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"dedup": true`)) {
+		t.Fatal("CRIT JSON of a dedup dump carries no dedup entries")
+	}
+	back, err := criu.EncodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"pagemap.img", "pages.img"} {
+		want, _ := dir.Get(name)
+		got, _ := back.Get(name)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s differs after CRIT round trip", name)
+		}
+	}
+}
+
+// TestExtractAbsorbRange pins the sub-view contract the parallel
+// rewriter relies on: ExtractRange copies the maps (mutations of the
+// view never touch the parent's maps), AbsorbRange replaces exactly the
+// range, and entries outside the range are untouched by both.
+func TestExtractAbsorbRange(t *testing.T) {
+	mk := func(fill byte) []byte {
+		pg := make([]byte, mem.PageSize)
+		for i := range pg {
+			pg[i] = fill
+		}
+		return pg
+	}
+	ps := criu.NewPageSet()
+	ps.Pages[0x10000] = mk(1)
+	ps.ZeroPages[0x11000] = true
+	ps.LazyPages[0x12000] = true
+	ps.Pages[0x20000] = mk(2) // outside the range
+
+	sub := ps.ExtractRange(0x10000, 0x13000)
+	if len(sub.Pages) != 1 || !sub.ZeroPages[0x11000] || !sub.LazyPages[0x12000] {
+		t.Fatalf("extracted view wrong: %+v", sub)
+	}
+	if _, ok := sub.Pages[0x20000]; ok {
+		t.Fatal("view leaked a page outside the range")
+	}
+
+	// Mutate the view the way RewriteThread does: drop, then rebuild.
+	sub.DropRange(0x10000, 0x13000)
+	if err := sub.WriteU64(0x10008, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	// The parent is untouched until absorb (fresh maps in the view).
+	if !ps.ZeroPages[0x11000] || !ps.LazyPages[0x12000] {
+		t.Fatal("mutating the view changed the parent's maps before absorb")
+	}
+	if ps.Pages[0x10000][0] != 1 {
+		t.Fatal("parent page bytes changed before absorb")
+	}
+
+	ps.AbsorbRange(sub, 0x10000, 0x13000)
+	if ps.ZeroPages[0x11000] || ps.LazyPages[0x12000] {
+		t.Error("absorb kept dropped flag entries")
+	}
+	if v, err := ps.ReadU64(0x10008); err != nil || v != 0xDEADBEEF {
+		t.Errorf("absorbed write lost: v=0x%x err=%v", v, err)
+	}
+	if pg := ps.Pages[0x20000]; pg[0] != 2 {
+		t.Error("absorb touched a page outside the range")
+	}
+}

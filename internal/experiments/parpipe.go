@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/dapper-sim/dapper/internal/cluster"
+	"github.com/dapper-sim/dapper/internal/core"
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/imgcheck"
+	"github.com/dapper-sim/dapper/internal/isa"
+	"github.com/dapper-sim/dapper/internal/monitor"
+	"github.com/dapper-sim/dapper/internal/obs"
+	"github.com/dapper-sim/dapper/internal/workloads"
+)
+
+// parpipeDB is the rediska key count loaded before measuring: big enough
+// that the dump, rewrite, and verify stages have real page volume to
+// shard, small enough for the quick CI profile.
+const parpipeDB = 2000
+
+// Parpipe measures the parallel migration pipeline on the heap-heavy
+// rediska store: host wall time of the dump, cross-ISA rewrite, and
+// imgcheck stages at Workers=1 versus Workers=NumCPU, plus what the
+// content-addressed page dedup elides from the same image. Host time
+// here is real elapsed time by definition (the stages' Go-side cost, the
+// quantity the parallel pipeline optimizes), never part of modeled
+// downtime.
+func Parpipe(c workloads.Class) (*Table, error) {
+	w, err := workloads.Get("rediska")
+	if err != nil {
+		return nil, err
+	}
+	pair, err := workloads.CompilePair(w, c)
+	if err != nil {
+		return nil, err
+	}
+	xeon := cluster.NewNode(cluster.XeonSpec)
+	xeon.Install(w.Name, pair)
+	p, err := xeon.Start(w.Name)
+	if err != nil {
+		return nil, err
+	}
+	p.PushInput(workloads.RediskaLoad(parpipeDB))
+	for i := 0; i < 5_000_000; i++ {
+		st, err := xeon.K.Step(p)
+		if err != nil {
+			return nil, err
+		}
+		if st.Blocked == 1 && p.PendingInput() == 0 {
+			break
+		}
+	}
+	p.TakeOutput()
+	mon := monitor.New(xeon.K, p, pair.Meta)
+	if err := mon.Pause(1 << 20); err != nil {
+		return nil, err
+	}
+	par := runtime.NumCPU()
+
+	// best-of-3 host timing per stage configuration: the minimum is the
+	// least-noise estimate of the stage's intrinsic cost.
+	best := func(fn func() error) (time.Duration, error) {
+		var b time.Duration
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); i == 0 || d < b {
+				b = d
+			}
+		}
+		return b, nil
+	}
+
+	dir, err := criu.Dump(p, criu.DumpOpts{})
+	if err != nil {
+		return nil, err
+	}
+	blob := dir.Marshal()
+
+	stages := []struct {
+		name string
+		run  func(workers int) error
+	}{
+		{"dump", func(workers int) error {
+			_, err := criu.Dump(p, criu.DumpOpts{Workers: workers})
+			return err
+		}},
+		{"rewrite", func(workers int) error {
+			d2, err := criu.UnmarshalImageDir(blob)
+			if err != nil {
+				return err
+			}
+			ctx := &core.Context{Binaries: xeon.Binaries, Workers: workers}
+			return core.CrossISAPolicy{Target: isa.SARM}.Rewrite(d2, ctx)
+		}},
+		{"verify", func(workers int) error {
+			return imgcheck.VerifyWith(dir, imgcheck.Opts{Workers: workers})
+		}},
+	}
+
+	t := &Table{
+		ID:        "parpipe",
+		Title:     "parallel migration pipeline: host-time per stage and page dedup (rediska)",
+		Header:    []string{"stage", "serial(ms)", fmt.Sprintf("workers=%d(ms)", par), "speedup"},
+		Telemetry: map[string]*obs.Report{},
+	}
+	hostMS := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6) }
+	for _, s := range stages {
+		serial, err := best(func() error { return s.run(1) })
+		if err != nil {
+			return nil, fmt.Errorf("parpipe %s serial: %w", s.name, err)
+		}
+		fanned, err := best(func() error { return s.run(par) })
+		if err != nil {
+			return nil, fmt.Errorf("parpipe %s workers=%d: %w", s.name, par, err)
+		}
+		speed := float64(serial) / float64(fanned)
+		t.Rows = append(t.Rows, []string{s.name, hostMS(serial), hostMS(fanned), fmt.Sprintf("%.2fx", speed)})
+	}
+
+	// Dedup on the same paused image: elision counters plus the realized
+	// pages.img shrink.
+	reg := obs.New()
+	ddir, err := criu.Dump(p, criu.DumpOpts{Dedup: true, Workers: par, Obs: reg})
+	if err != nil {
+		return nil, err
+	}
+	plainPages, _ := dir.Get("pages.img")
+	dedupPages, _ := ddir.Get("pages.img")
+	elided := reg.Counter("dedup.pages_elided").Value()
+	saved := reg.Counter("dedup.bytes_saved").Value()
+	if saved == 0 {
+		return nil, fmt.Errorf("parpipe: dedup saved no bytes on rediska (%d keys)", parpipeDB)
+	}
+	t.Rows = append(t.Rows, []string{
+		"dedup", kb(uint64(len(plainPages))), kb(uint64(len(dedupPages))),
+		fmt.Sprintf("-%d pages (%s)", elided, kb(saved)),
+	})
+	t.Telemetry["rediska/dedup"] = reg.Report()
+	t.Notes = append(t.Notes,
+		"serial and workers=N produce byte-identical images; host time is the Go-side stage cost, never modeled downtime",
+		fmt.Sprintf("speedups are machine-dependent (this run: %d CPUs); ~1.0x on single-core runners", par),
+		"dedup row: serial column = plain pages.img, workers column = dedup pages.img, last column = pages elided (bytes saved)")
+	return t, nil
+}

@@ -13,6 +13,7 @@
 package image
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -166,13 +167,22 @@ func UnmarshalMM(b []byte) (*MMImage, error) {
 // (incremental dumps, CRIU's in_parent flag) carry no bytes either: the
 // content is unchanged since the parent checkpoint and resolves through
 // the chain. Zero entries mark all-zero pages whose bytes are elided;
-// restore leaves them demand-zero.
+// restore leaves them demand-zero. Dedup entries (the content-addressed
+// page store) carry no bytes either: each of the run's pages is
+// byte-identical to the data page at DedupSrc + i*PageSize earlier in
+// the SAME pagemap — the reference must point strictly backwards, so a
+// single forward pass resolves it and cycles are impossible by
+// construction.
 type PagemapEntry struct {
 	Vaddr    uint64 `json:"vaddr"`
 	NrPages  uint32 `json:"nrPages"`
 	Lazy     bool   `json:"lazy,omitempty"`
 	InParent bool   `json:"inParent,omitempty"`
 	Zero     bool   `json:"zero,omitempty"`
+	Dedup    bool   `json:"dedup,omitempty"`
+	// DedupSrc is the page-aligned vaddr of the data page holding this
+	// run's bytes; meaningful only when Dedup is set.
+	DedupSrc uint64 `json:"dedupSrc,omitempty"`
 }
 
 // PagemapImage is pagemap.img: the index into pages.img.
@@ -190,6 +200,18 @@ func (p *PagemapImage) Marshal() []byte {
 			n.Bool(3, en.Lazy)
 			n.Bool(4, en.InParent)
 			n.Bool(5, en.Zero)
+			// Fields 6/7 are emitted only for dedup runs so that images
+			// written without dedup stay byte-identical to the pre-dedup
+			// encoding (the Workers=1 golden-output contract).
+			// Flag and source are emitted independently so a malformed
+			// source-without-flag entry survives a CRIT round trip for the
+			// verifier to reject.
+			if en.Dedup {
+				n.Bool(6, true)
+			}
+			if en.DedupSrc != 0 {
+				n.Fixed64(7, en.DedupSrc)
+			}
 		})
 	}
 	return e.Bytes()
@@ -224,6 +246,14 @@ func UnmarshalPagemap(b []byte) (*PagemapImage, error) {
 			case 5:
 				v, err := nd.FieldBool()
 				en.Zero = v
+				return err
+			case 6:
+				v, err := nd.FieldBool()
+				en.Dedup = v
+				return err
+			case 7:
+				u, err := nd.FieldUint64()
+				en.DedupSrc = u
 				return err
 			}
 			return nil
@@ -379,16 +409,27 @@ func (d *ImageDir) Size() uint64 {
 	return n
 }
 
+// FrameFile encodes one directory entry exactly as it appears inside
+// Marshal's output: concatenating FrameFile over Names() in sorted
+// order reproduces Marshal() byte for byte. The parallel transfer path
+// relies on this to frame files on worker goroutines (overlapping
+// framing with the rewrite stage) and splice them in name order.
+func FrameFile(name string, data []byte) []byte {
+	var e imgproto.Encoder
+	e.Message(1, func(n *imgproto.Encoder) {
+		n.String(1, name)
+		n.BytesField(2, data)
+	})
+	return e.Bytes()
+}
+
 // Marshal flattens the directory into one blob for network transfer.
 func (d *ImageDir) Marshal() []byte {
-	var e imgproto.Encoder
+	var out []byte
 	for _, name := range d.Names() {
-		e.Message(1, func(n *imgproto.Encoder) {
-			n.String(1, name)
-			n.BytesField(2, d.files[name])
-		})
+		out = append(out, FrameFile(name, d.files[name])...)
 	}
-	return e.Bytes()
+	return out
 }
 
 // UnmarshalImageDir parses a directory blob.
@@ -448,6 +489,7 @@ const (
 	pageZero
 	pageParent
 	pageLazy
+	pageDedup
 )
 
 // classOf reports how the page at a is represented. Data beats the flag
@@ -483,6 +525,19 @@ func LoadPageSet(dir *ImageDir) (*PageSet, error) {
 		for i := uint32(0); i < en.NrPages; i++ {
 			addr := en.Vaddr + uint64(i)*mem.PageSize
 			switch {
+			case en.Dedup:
+				// Dedup references point strictly backwards (the data
+				// page with the lowest vaddr keeps the bytes), so a
+				// single forward pass resolves every run.
+				src := en.DedupSrc + uint64(i)*mem.PageSize
+				srcPg, ok := ps.Pages[src]
+				if !ok || srcPg == nil {
+					return nil, fmt.Errorf("image: dedup page 0x%x references 0x%x, which holds no data", addr, src)
+				}
+				pg := make([]byte, mem.PageSize)
+				copy(pg, srcPg)
+				ps.Pages[addr] = pg
+				continue
 			case en.Lazy:
 				ps.LazyPages[addr] = true
 				continue
@@ -515,9 +570,49 @@ func NewPageSet() *PageSet {
 	}
 }
 
+// StoreOpts selects optional encodings for PageSet.Store.
+type StoreOpts struct {
+	// Dedup content-addresses data pages (FNV-1a 64 over each 4K page,
+	// byte-compared on hash collision): the occurrence with the lowest
+	// vaddr keeps its bytes in pages.img, every later identical page
+	// becomes a pagemap-only dedup entry referencing it. Off by default
+	// so existing images stay byte-identical.
+	Dedup bool
+}
+
+// StoreStats reports what a store elided.
+type StoreStats struct {
+	// PagesElided counts data pages encoded as dedup references.
+	PagesElided uint64
+	// BytesSaved is PagesElided * PageSize: payload bytes absent from
+	// pages.img (and therefore from the wire).
+	BytesSaved uint64
+}
+
+// fnv1a64 hashes one page with FNV-1a (the content address used by the
+// dedup store). Inline so the codec stays dependency-free.
+func fnv1a64(b []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
 // Store serializes the page set back into the directory, coalescing
-// contiguous same-class (data/lazy/in_parent/zero) runs.
+// contiguous same-class (data/lazy/in_parent/zero) runs. Output is
+// byte-identical to the historical encoding; use StoreWith for dedup.
 func (ps *PageSet) Store(dir *ImageDir) {
+	ps.StoreWith(dir, StoreOpts{})
+}
+
+// StoreWith is Store with options. The emitted pagemap depends only on
+// the page-set contents (addresses are sorted, dedup sources are the
+// lowest-vaddr occurrence), never on map iteration or worker
+// scheduling, so output is deterministic for any producer.
+func (ps *PageSet) StoreWith(dir *ImageDir, opts StoreOpts) StoreStats {
 	seen := make(map[uint64]bool, len(ps.Pages))
 	addrs := make([]uint64, 0, len(ps.Pages)+len(ps.LazyPages)+len(ps.ParentPages)+len(ps.ZeroPages))
 	add := func(a uint64) {
@@ -539,13 +634,57 @@ func (ps *PageSet) Store(dir *ImageDir) {
 		add(a)
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	var stats StoreStats
+	var dedupSrc map[uint64]uint64 // page vaddr -> source data page vaddr
+	if opts.Dedup {
+		dedupSrc = make(map[uint64]uint64)
+		byHash := make(map[uint64][]uint64) // content hash -> keeper vaddrs
+		for _, a := range addrs {
+			if ps.classOf(a) != pageData {
+				continue
+			}
+			pg := ps.Pages[a]
+			h := fnv1a64(pg)
+			matched := false
+			for _, src := range byHash[h] {
+				if bytes.Equal(ps.Pages[src], pg) {
+					dedupSrc[a] = src
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				byHash[h] = append(byHash[h], a)
+			}
+		}
+		stats.PagesElided = uint64(len(dedupSrc))
+		stats.BytesSaved = stats.PagesElided * mem.PageSize
+	}
+	classOf := func(a uint64) int {
+		if _, dup := dedupSrc[a]; dup {
+			return pageDedup
+		}
+		return ps.classOf(a)
+	}
+
 	var pm PagemapImage
 	var blob []byte
 	for i := 0; i < len(addrs); {
 		a := addrs[i]
-		cls := ps.classOf(a)
+		cls := classOf(a)
+		if cls == pageDedup {
+			// Dedup runs stay single-page: each reference names its own
+			// source, and adjacent duplicates rarely share a contiguous
+			// source range worth the extra coalescing complexity.
+			pm.Entries = append(pm.Entries, PagemapEntry{
+				Vaddr: a, NrPages: 1, Dedup: true, DedupSrc: dedupSrc[a],
+			})
+			i++
+			continue
+		}
 		j := i
-		for j < len(addrs) && addrs[j] == a+uint64(j-i)*mem.PageSize && ps.classOf(addrs[j]) == cls {
+		for j < len(addrs) && addrs[j] == a+uint64(j-i)*mem.PageSize && classOf(addrs[j]) == cls {
 			if cls == pageData {
 				blob = append(blob, ps.Pages[addrs[j]]...)
 			}
@@ -559,6 +698,7 @@ func (ps *PageSet) Store(dir *ImageDir) {
 	}
 	dir.Put("pagemap.img", pm.Marshal())
 	dir.Put("pages.img", blob)
+	return stats
 }
 
 // ReadU64 reads a word from the page set (for the stack rewriter). Zero
@@ -632,6 +772,61 @@ func (ps *PageSet) DropRange(start, end uint64) {
 	for a := range ps.ZeroPages {
 		if a >= start && a < end {
 			delete(ps.ZeroPages, a)
+		}
+	}
+}
+
+// ExtractRange returns a PageSet view of [start, end): every page entry
+// of ps inside the range, with page bytes shared rather than copied.
+// Concurrent callers may take views of disjoint ranges while nothing
+// mutates ps (map reads only); each caller may then mutate its own view
+// freely — DropRange and WriteU64 allocate fresh pages, so the shared
+// ps is never written through a view. Fold a mutated view back with
+// AbsorbRange after every view's work has joined. This pair is what
+// lets per-thread stack rewriters run concurrently over one dump.
+func (ps *PageSet) ExtractRange(start, end uint64) *PageSet {
+	sub := NewPageSet()
+	for a := start / mem.PageSize * mem.PageSize; a < end; a += mem.PageSize {
+		if pg, ok := ps.Pages[a]; ok {
+			sub.Pages[a] = pg
+		}
+		if ps.LazyPages[a] {
+			sub.LazyPages[a] = true
+		}
+		if ps.ParentPages[a] {
+			sub.ParentPages[a] = true
+		}
+		if ps.ZeroPages[a] {
+			sub.ZeroPages[a] = true
+		}
+	}
+	return sub
+}
+
+// AbsorbRange replaces [start, end) of ps with the contents of sub, a
+// view produced by ExtractRange and since mutated. Entries of sub
+// outside the range are ignored. Not concurrency-safe: absorb views
+// serially, after the fan-out that mutated them has joined.
+func (ps *PageSet) AbsorbRange(sub *PageSet, start, end uint64) {
+	ps.DropRange(start, end)
+	for a, pg := range sub.Pages {
+		if a >= start && a < end {
+			ps.Pages[a] = pg
+		}
+	}
+	for a := range sub.LazyPages {
+		if a >= start && a < end {
+			ps.LazyPages[a] = true
+		}
+	}
+	for a := range sub.ParentPages {
+		if a >= start && a < end {
+			ps.ParentPages[a] = true
+		}
+	}
+	for a := range sub.ZeroPages {
+		if a >= start && a < end {
+			ps.ZeroPages[a] = true
 		}
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"github.com/dapper-sim/dapper/internal/image"
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/parallel"
 	"github.com/dapper-sim/dapper/internal/stackmap"
 )
 
@@ -51,6 +52,7 @@ const (
 	InvCorePC        = "core-pc"        // thread PC outside every VMA
 	InvCoreTID       = "core-tid"       // core images and inventory TIDs disagree
 	InvSymbolAlign   = "symbol-align"   // per-ISA site PCs fall outside their function's unified address range
+	InvDedupRef      = "dedup-ref"      // dedup entry dangling, forward-referencing, or malformed
 )
 
 // Violation is one broken invariant.
@@ -186,52 +188,117 @@ func decode(dir *image.ImageDir, r *Report) *decoded {
 	return d
 }
 
-// checkStructure runs the per-directory structural invariants shared by
-// VerifyLink and Verify: VMA ordering, pagemap ordering and flags, and
-// the exact pages.img byte count.
-func checkStructure(d *decoded, r *Report) {
-	for i, v := range d.mm.VMAs {
-		if v.Start >= v.End || v.Start%mem.PageSize != 0 || v.End%mem.PageSize != 0 {
-			r.add(InvVMAOrder, "vma %d [0x%x,0x%x) inverted or unaligned", i, v.Start, v.End)
-		}
-		if i > 0 && v.Start < d.mm.VMAs[i-1].End {
-			r.add(InvVMAOrder, "vma %d [0x%x,0x%x) overlaps or precedes [0x%x,0x%x)",
-				i, v.Start, v.End, d.mm.VMAs[i-1].Start, d.mm.VMAs[i-1].End)
-		}
+// sweep runs fn over contiguous shards of [0, n) on a worker pool and
+// appends the per-shard violations in shard order. Because shards are
+// contiguous and concatenated in order, the diagnostics are identical
+// to a serial sweep for every worker count.
+func sweep(r *Report, workers, n int, fn func(c parallel.Chunk, sr *Report)) {
+	chunks := parallel.Chunks(n, parallel.Normalize(workers))
+	reps := make([]Report, len(chunks))
+	_ = parallel.New(workers).ForEach(len(chunks), func(ci int) error {
+		fn(chunks[ci], &reps[ci])
+		return nil
+	})
+	for _, sr := range reps {
+		r.Violations = append(r.Violations, sr.Violations...)
 	}
+}
+
+// checkStructure runs the per-directory structural invariants shared by
+// VerifyLink and Verify: VMA ordering, pagemap ordering and flags,
+// dedup-reference shape, and the exact pages.img byte count. The
+// per-VMA and per-entry checks shard over the pool; the dedup
+// resolution pass and the byte accounting — which need the whole
+// pagemap — stay serial.
+func checkStructure(d *decoded, r *Report, workers int) {
+	sweep(r, workers, len(d.mm.VMAs), func(c parallel.Chunk, sr *Report) {
+		for i := c.Lo; i < c.Hi; i++ {
+			v := d.mm.VMAs[i]
+			if v.Start >= v.End || v.Start%mem.PageSize != 0 || v.End%mem.PageSize != 0 {
+				sr.add(InvVMAOrder, "vma %d [0x%x,0x%x) inverted or unaligned", i, v.Start, v.End)
+			}
+			if i > 0 && v.Start < d.mm.VMAs[i-1].End {
+				sr.add(InvVMAOrder, "vma %d [0x%x,0x%x) overlaps or precedes [0x%x,0x%x)",
+					i, v.Start, v.End, d.mm.VMAs[i-1].Start, d.mm.VMAs[i-1].End)
+			}
+		}
+	})
+	sweep(r, workers, len(d.pm.Entries), func(c parallel.Chunk, sr *Report) {
+		for i := c.Lo; i < c.Hi; i++ {
+			en := d.pm.Entries[i]
+			if en.NrPages == 0 {
+				sr.add(InvPagemapOrder, "entry %d at 0x%x spans zero pages", i, en.Vaddr)
+				continue
+			}
+			if en.Vaddr%mem.PageSize != 0 {
+				sr.add(InvPagemapOrder, "entry %d at 0x%x not page-aligned", i, en.Vaddr)
+			}
+			if i > 0 {
+				prev := d.pm.Entries[i-1]
+				prevEnd := prev.Vaddr + uint64(prev.NrPages)*mem.PageSize
+				if en.Vaddr < prevEnd {
+					sr.add(InvPagemapOrder, "entry %d at 0x%x overlaps or precedes run ending 0x%x",
+						i, en.Vaddr, prevEnd)
+				}
+			}
+			flags := 0
+			for _, f := range []bool{en.Lazy, en.InParent, en.Zero, en.Dedup} {
+				if f {
+					flags++
+				}
+			}
+			if flags > 1 {
+				sr.add(InvPagemapFlags, "entry %d at 0x%x sets %d of lazy/in_parent/zero/dedup", i, en.Vaddr, flags)
+			}
+			switch {
+			case en.Dedup:
+				if en.DedupSrc%mem.PageSize != 0 {
+					sr.add(InvDedupRef, "entry %d at 0x%x: dedup source 0x%x not page-aligned", i, en.Vaddr, en.DedupSrc)
+				}
+				if en.DedupSrc >= en.Vaddr {
+					sr.add(InvDedupRef, "entry %d at 0x%x: dedup source 0x%x is not strictly backwards", i, en.Vaddr, en.DedupSrc)
+				}
+			case en.DedupSrc != 0:
+				sr.add(InvDedupRef, "entry %d at 0x%x carries dedup source 0x%x without the dedup flag", i, en.Vaddr, en.DedupSrc)
+			}
+		}
+	})
 	dataPages := 0
-	for i, en := range d.pm.Entries {
-		if en.NrPages == 0 {
-			r.add(InvPagemapOrder, "entry %d at 0x%x spans zero pages", i, en.Vaddr)
-			continue
-		}
-		if en.Vaddr%mem.PageSize != 0 {
-			r.add(InvPagemapOrder, "entry %d at 0x%x not page-aligned", i, en.Vaddr)
-		}
-		if i > 0 {
-			prev := d.pm.Entries[i-1]
-			prevEnd := prev.Vaddr + uint64(prev.NrPages)*mem.PageSize
-			if en.Vaddr < prevEnd {
-				r.add(InvPagemapOrder, "entry %d at 0x%x overlaps or precedes run ending 0x%x",
-					i, en.Vaddr, prevEnd)
-			}
-		}
-		flags := 0
-		for _, f := range []bool{en.Lazy, en.InParent, en.Zero} {
-			if f {
-				flags++
-			}
-		}
-		if flags > 1 {
-			r.add(InvPagemapFlags, "entry %d at 0x%x sets %d of lazy/in_parent/zero", i, en.Vaddr, flags)
-		}
-		if flags == 0 {
+	for _, en := range d.pm.Entries {
+		if !en.Lazy && !en.InParent && !en.Zero && !en.Dedup {
 			dataPages += int(en.NrPages)
 		}
 	}
 	if want := dataPages * mem.PageSize; len(d.pages) != want {
 		r.add(InvPagesBytes, "pages.img carries %d bytes, pagemap describes %d data pages (%d bytes) — flagged entries must carry no bytes",
 			len(d.pages), dataPages, want)
+	}
+	checkDedupResolution(d, r)
+}
+
+// checkDedupResolution verifies every dedup run resolves to data pages
+// that appear earlier in the pagemap (references are strictly backwards
+// by construction, so one forward pass suffices). A dangling reference
+// would make LoadPageSet fail — or worse, a forward one would make the
+// image's meaning depend on decode order — so imgcheck rejects both.
+func checkDedupResolution(d *decoded, r *Report) {
+	data := make(map[uint64]bool)
+	for i, en := range d.pm.Entries {
+		if en.Dedup {
+			for k := uint32(0); k < en.NrPages; k++ {
+				src := en.DedupSrc + uint64(k)*mem.PageSize
+				if !data[src] {
+					r.add(InvDedupRef, "entry %d: dedup page 0x%x references 0x%x, which is not an earlier data page",
+						i, en.Vaddr+uint64(k)*mem.PageSize, src)
+				}
+			}
+			continue
+		}
+		if !en.Lazy && !en.InParent && !en.Zero {
+			for k := uint32(0); k < en.NrPages; k++ {
+				data[en.Vaddr+uint64(k)*mem.PageSize] = true
+			}
+		}
 	}
 }
 
@@ -262,39 +329,53 @@ func vmaCover(mm *image.MMImage, lo, hi uint64) bool {
 
 // checkAddressSpace runs the self-contained address-space invariants:
 // every pagemap page inside a VMA, thread PCs mapped, stacks mapped and
-// upright, and register files within the core's ISA width.
-func checkAddressSpace(d *decoded, r *Report) {
-	for i, en := range d.pm.Entries {
-		end := en.Vaddr + uint64(en.NrPages)*mem.PageSize
-		if !vmaCover(d.mm, en.Vaddr, end) {
-			r.add(InvPagemapMapped, "entry %d [0x%x,0x%x) outside the mapped vmas", i, en.Vaddr, end)
-		}
-	}
-	for _, tid := range sortedTIDs(d.cores) {
-		core := d.cores[tid]
-		if core.Arch != d.inv.Arch {
-			r.add(InvCoreRegs, "core-%d.img is %v but inventory is %v", tid, core.Arch, d.inv.Arch)
-		}
-		if core.Arch == isa.SX86 {
-			// SX86 has 8 architectural registers; a live value recorded
-			// beyond them cannot be covered by any stack-map location.
-			for ri := 8; ri < isa.NumRegs; ri++ {
-				if core.Regs.R[ri] != 0 {
-					r.add(InvCoreRegs, "core-%d.img: sx86 register r%d holds 0x%x beyond the 8-register file",
-						tid, ri, core.Regs.R[ri])
-					break
-				}
+// upright, and register files within the core's ISA width. Both loops
+// shard over the pool; VMA coverage lookups only read the decoded mm.
+func checkAddressSpace(d *decoded, r *Report, workers int) {
+	sweep(r, workers, len(d.pm.Entries), func(c parallel.Chunk, sr *Report) {
+		for i := c.Lo; i < c.Hi; i++ {
+			en := d.pm.Entries[i]
+			end := en.Vaddr + uint64(en.NrPages)*mem.PageSize
+			if !vmaCover(d.mm, en.Vaddr, end) {
+				sr.add(InvPagemapMapped, "entry %d [0x%x,0x%x) outside the mapped vmas", i, en.Vaddr, end)
 			}
 		}
-		if !vmaCover(d.mm, core.Regs.PC, 0) {
-			r.add(InvCorePC, "core-%d.img: pc 0x%x outside every vma", tid, core.Regs.PC)
+	})
+	tids := sortedTIDs(d.cores)
+	sweep(r, workers, len(tids), func(c parallel.Chunk, sr *Report) {
+		for ti := c.Lo; ti < c.Hi; ti++ {
+			tid := tids[ti]
+			core := d.cores[tid]
+			checkCore(d, tid, core, sr)
 		}
-		if core.StackLow >= core.StackHigh {
-			r.add(InvCoreStack, "core-%d.img: stack [0x%x,0x%x) inverted", tid, core.StackLow, core.StackHigh)
-		} else if !vmaCover(d.mm, core.StackLow, core.StackHigh) {
-			r.add(InvCoreStack, "core-%d.img: stack [0x%x,0x%x) not covered by a vma",
-				tid, core.StackLow, core.StackHigh)
+	})
+}
+
+// checkCore verifies one thread's core image against the inventory and
+// address space.
+func checkCore(d *decoded, tid int, core *image.CoreImage, r *Report) {
+	if core.Arch != d.inv.Arch {
+		r.add(InvCoreRegs, "core-%d.img is %v but inventory is %v", tid, core.Arch, d.inv.Arch)
+	}
+	if core.Arch == isa.SX86 {
+		// SX86 has 8 architectural registers; a live value recorded
+		// beyond them cannot be covered by any stack-map location.
+		for ri := 8; ri < isa.NumRegs; ri++ {
+			if core.Regs.R[ri] != 0 {
+				r.add(InvCoreRegs, "core-%d.img: sx86 register r%d holds 0x%x beyond the 8-register file",
+					tid, ri, core.Regs.R[ri])
+				break
+			}
 		}
+	}
+	if !vmaCover(d.mm, core.Regs.PC, 0) {
+		r.add(InvCorePC, "core-%d.img: pc 0x%x outside every vma", tid, core.Regs.PC)
+	}
+	if core.StackLow >= core.StackHigh {
+		r.add(InvCoreStack, "core-%d.img: stack [0x%x,0x%x) inverted", tid, core.StackLow, core.StackHigh)
+	} else if !vmaCover(d.mm, core.StackLow, core.StackHigh) {
+		r.add(InvCoreStack, "core-%d.img: stack [0x%x,0x%x) not covered by a vma",
+			tid, core.StackLow, core.StackHigh)
 	}
 }
 
@@ -324,16 +405,30 @@ func pagesOf(pm *image.PagemapImage) (inParent, others map[uint64]bool) {
 	return inParent, others
 }
 
+// Opts controls how a verification runs; the zero value is the default.
+type Opts struct {
+	// Workers bounds the check fan-out: per-VMA, per-pagemap-entry, and
+	// per-core sweeps shard over a pool of this size. Values <= 0 select
+	// runtime.NumCPU(); 1 reproduces the serial sweep. Diagnostics are
+	// reported in the same order for every worker count.
+	Workers int
+}
+
 // VerifyLink checks one directory's structural invariants, permitting
 // lazy and in_parent entries — the right check for a chain member or a
 // directory about to be flattened/restored, where in_parent resolution is
 // someone else's job. This is the cheap pre-flight criu.Restore and the
 // migration receive paths run.
 func VerifyLink(dir *image.ImageDir) error {
+	return VerifyLinkWith(dir, Opts{})
+}
+
+// VerifyLinkWith is VerifyLink with an explicit worker count.
+func VerifyLinkWith(dir *image.ImageDir, opts Opts) error {
 	var r Report
 	d := decode(dir, &r)
 	if d != nil {
-		checkStructure(d, &r)
+		checkStructure(d, &r, opts.Workers)
 	}
 	return r.Err()
 }
@@ -342,11 +437,16 @@ func VerifyLink(dir *image.ImageDir) error {
 // address-space invariants and the requirement that no page claims to
 // live in a parent checkpoint (a lone directory has none).
 func Verify(dir *image.ImageDir) error {
+	return VerifyWith(dir, Opts{})
+}
+
+// VerifyWith is Verify with an explicit worker count.
+func VerifyWith(dir *image.ImageDir, opts Opts) error {
 	var r Report
 	d := decode(dir, &r)
 	if d != nil {
-		checkStructure(d, &r)
-		checkAddressSpace(d, &r)
+		checkStructure(d, &r, opts.Workers)
+		checkAddressSpace(d, &r, opts.Workers)
 		inParent, _ := pagesOf(d.pm)
 		if len(inParent) > 0 {
 			r.add(InvInParent, "%d in_parent pages with no parent directory to resolve them (verify the full chain, or flatten first)",
@@ -363,6 +463,11 @@ func Verify(dir *image.ImageDir) error {
 // terminate — the cyclic/truncated-chain case), and every in_parent page
 // in link i resolves to a non-in_parent entry in some older link.
 func VerifyChain(chain []*image.ImageDir) error {
+	return VerifyChainWith(chain, Opts{})
+}
+
+// VerifyChainWith is VerifyChain with an explicit worker count.
+func VerifyChainWith(chain []*image.ImageDir, opts Opts) error {
 	var r Report
 	if len(chain) == 0 {
 		r.add(InvInParent, "empty chain")
@@ -376,9 +481,9 @@ func VerifyChain(chain []*image.ImageDir) error {
 			return r.Err()
 		}
 		decs[i] = d
-		checkStructure(d, &r)
+		checkStructure(d, &r, opts.Workers)
 	}
-	checkAddressSpace(decs[len(decs)-1], &r)
+	checkAddressSpace(decs[len(decs)-1], &r, opts.Workers)
 	resolved := make(map[uint64]bool) // pages some link below has pinned
 	for i, d := range decs {
 		inParent, others := pagesOf(d.pm)

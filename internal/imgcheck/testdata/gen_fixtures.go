@@ -176,6 +176,52 @@ func main() {
 	d.MM.VMAs[1].End = tlsLo + page
 	fixtures["vma_overlap.json"] = []*criu.CritDoc{d}
 
+	// Accepted by Verify: a well-formed dedup image — the second data
+	// page is a backwards reference to the first and carries no bytes.
+	d = baseDoc()
+	d.MM.VMAs[1].End = dataLo + 2*page
+	d.Pagemap.Entries = []criu.PagemapEntry{
+		{Vaddr: dataLo, NrPages: 1},
+		{Vaddr: dataLo + page, NrPages: 1, Dedup: true, DedupSrc: dataLo},
+		{Vaddr: stackHi - page, NrPages: 1, Zero: true},
+	}
+	fixtures["ok_dedup.json"] = []*criu.CritDoc{d}
+
+	// dedup-ref: the referenced page is a zero page, not a data page, so
+	// the reference dangles.
+	d = baseDoc()
+	d.MM.VMAs[1].End = dataLo + 2*page
+	d.Pagemap.Entries = []criu.PagemapEntry{
+		{Vaddr: dataLo, NrPages: 1, Zero: true},
+		{Vaddr: dataLo + page, NrPages: 1, Dedup: true, DedupSrc: dataLo},
+	}
+	emptyPages(d)
+	fixtures["dedup_dangling.json"] = []*criu.CritDoc{d}
+
+	// dedup-ref: a self-reference — dedup sources must point strictly
+	// backwards so a single forward pass resolves them.
+	d = baseDoc()
+	d.MM.VMAs[1].End = dataLo + 2*page
+	d.Pagemap.Entries = []criu.PagemapEntry{
+		{Vaddr: dataLo, NrPages: 1},
+		{Vaddr: dataLo + page, NrPages: 1, Dedup: true, DedupSrc: dataLo + page},
+	}
+	fixtures["dedup_forward.json"] = []*criu.CritDoc{d}
+
+	// dedup-ref: source address not page-aligned.
+	d = baseDoc()
+	d.MM.VMAs[1].End = dataLo + 2*page
+	d.Pagemap.Entries = []criu.PagemapEntry{
+		{Vaddr: dataLo, NrPages: 1},
+		{Vaddr: dataLo + page, NrPages: 1, Dedup: true, DedupSrc: dataLo + 0x10},
+	}
+	fixtures["dedup_unaligned.json"] = []*criu.CritDoc{d}
+
+	// dedup-ref: a data entry carries a dedup source without the flag.
+	d = baseDoc()
+	d.Pagemap.Entries[0].DedupSrc = stackLo
+	fixtures["dedup_no_flag.json"] = []*criu.CritDoc{d}
+
 	for name, docs := range fixtures {
 		out, err := json.MarshalIndent(docs, "", "  ")
 		if err != nil {
