@@ -39,11 +39,14 @@ bench-json:
 # bench-quick exercises the parallel-pipeline benchmarks one iteration
 # each under the race detector (Workers=NumCPU fans out on CI's
 # multicore runners) and regenerates the parpipe table — serial vs
-# parallel host time per stage plus dedup savings — as JSON for the CI
-# artifact.
+# parallel host time per stage plus dedup savings — and the wirecodec
+# table — bytes-on-wire for raw vs batched vs flate vs delta+flate on a
+# live pre-copy; the run itself fails if the codec stack saves nothing —
+# as JSON for the CI artifacts.
 bench-quick:
 	$(GO) test -race -run=^$$ -bench='DumpParallel|RewriteThreads|ImgcheckVerify' -benchtime=1x .
 	$(GO) run ./cmd/dapper-bench -jsonout BENCH_parpipe.json parpipe
+	$(GO) run ./cmd/dapper-bench -jsonout BENCH_wirecodec.json wirecodec
 
 # bench-obs measures the telemetry fast paths: the Disabled* benchmarks
 # are the nil-registry no-ops every migration pays even with telemetry

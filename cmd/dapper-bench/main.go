@@ -38,21 +38,22 @@ func run(args []string) error {
 	experiments.LazyTCP = *lazyTCP
 	c := workloads.Class(strings.ToUpper(*class))
 	gens := map[string]genFunc{
-		"fig1":    experiments.Fig1,
-		"fig5":    experiments.Fig5,
-		"fig6":    experiments.Fig6,
-		"fig7":    experiments.Fig7,
-		"fig8":    experiments.Fig8,
-		"fig9":    experiments.Fig9,
-		"fig7x":   experiments.Fig7x,
-		"fig10":   experiments.Fig10,
-		"fig11":   experiments.Fig11,
-		"parpipe": experiments.Parpipe,
+		"fig1":      experiments.Fig1,
+		"fig5":      experiments.Fig5,
+		"fig6":      experiments.Fig6,
+		"fig7":      experiments.Fig7,
+		"fig8":      experiments.Fig8,
+		"fig9":      experiments.Fig9,
+		"fig7x":     experiments.Fig7x,
+		"fig10":     experiments.Fig10,
+		"fig11":     experiments.Fig11,
+		"parpipe":   experiments.Parpipe,
+		"wirecodec": experiments.Wirecodec,
 		"attacks": func(workloads.Class) (*experiments.Table, error) {
 			return experiments.Attacks()
 		},
 	}
-	order := []string{"fig1", "fig5", "fig6", "fig7", "fig7x", "fig8", "fig9", "fig10", "fig11", "parpipe", "attacks"}
+	order := []string{"fig1", "fig5", "fig6", "fig7", "fig7x", "fig8", "fig9", "fig10", "fig11", "parpipe", "wirecodec", "attacks"}
 
 	want := fs.Args()
 	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {

@@ -13,6 +13,7 @@
 package cluster
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -115,8 +116,12 @@ type Breakdown struct {
 	// RecodeHost is the real wall time the Go rewriter took (reported by
 	// the benchmarks alongside the modeled time).
 	RecodeHost time.Duration
-	// ImageBytes is the transferred image size.
+	// ImageBytes is the marshaled image size before any wire codec.
 	ImageBytes uint64
+	// WireBytes is what actually crossed the link after batching and
+	// compression; equal to ImageBytes when no codec is in play. Copy is
+	// modeled from this figure.
+	WireBytes uint64
 	// LazyBytes counts bytes later served by the page server (post-copy).
 	LazyBytes uint64
 	// LazyFetches counts page-server round trips after restore.
@@ -200,6 +205,19 @@ type MigrateOpts struct {
 	// bytes on the wire ("dedup.pages_elided"/"dedup.bytes_saved" in the
 	// Obs registry). Restore resolves the references transparently.
 	Dedup bool
+	// Codec selects the wire codec for image transfers (and, for LazyTCP,
+	// the page client's batch framing): CodecRaw (the zero value) keeps
+	// the legacy framing; CodecNone batches; CodecFlate batches and
+	// compresses. Negotiated/self-describing on the wire, so mixed-version
+	// peers interoperate. Restored images are byte-identical across all
+	// settings; only Breakdown.WireBytes changes.
+	Codec criu.Codec
+	// Delta enables XOR-delta encoding of re-dirtied pages in pre-copy
+	// rounds (requires PreCopy): a page the chain already holds ships as
+	// the XOR against the chain's content — mostly zeros for small
+	// mutations, which CodecFlate then collapses — and soft-dirty false
+	// positives are elided entirely. See criu.DumpOpts.DeltaBase.
+	Delta bool
 }
 
 // MigrationResult couples the restored process with its costs and any
@@ -304,6 +322,9 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	if recodeNode == nil {
 		recodeNode = fasterNode(src, dst)
 	}
+	if opts.Delta && opts.PreCopy == nil {
+		return nil, fmt.Errorf("cluster: delta encoding requires pre-copy migration")
+	}
 	if opts.PreCopy != nil {
 		if opts.Lazy {
 			return nil, fmt.Errorf("cluster: pre-copy is incompatible with lazy migration")
@@ -343,14 +364,30 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	bd.RecodeHost = time.Since(hostStart)
 	bd.Recode = RecodeTime(recodeNode, dir.Size())
 
-	// 3. Copy images over the link (scp).
+	// 3. Copy images over the link (scp). With a batch codec the blob
+	// round-trips the real v3 stream encoder — the exact bytes a TCP
+	// transfer would carry — so WireBytes is measured, not estimated.
 	blob := sh.marshal(dir, opts.Workers)
 	bd.ImageBytes = uint64(len(blob))
-	bd.Copy = link.TransferTime(bd.ImageBytes)
-	dir2, err := criu.UnmarshalImageDir(blob)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: transfer: %w", err)
+	bd.WireBytes = bd.ImageBytes
+	var dir2 *criu.ImageDir
+	if opts.Codec.Batched() {
+		var buf bytes.Buffer
+		wire, err := writeImageStream(&buf, blob, opts.Codec, 0, opts.Obs)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: transfer: %w", err)
+		}
+		bd.WireBytes = wire
+		if dir2, err = readImageDirFrom(&buf); err != nil {
+			return nil, fmt.Errorf("cluster: transfer: %w", err)
+		}
+	} else {
+		var err error
+		if dir2, err = criu.UnmarshalImageDir(blob); err != nil {
+			return nil, fmt.Errorf("cluster: transfer: %w", err)
+		}
 	}
+	bd.Copy = link.TransferTime(bd.WireBytes)
 
 	// 4. Restore on the destination node.
 	p2, err := criu.Restore(dst.K, dir2, dst.Binaries)
@@ -414,6 +451,11 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	}
 	if copts.Obs == nil {
 		copts.Obs = opts.Obs
+	}
+	if !copts.Codec.Batched() && opts.Codec.Batched() {
+		// The migration-level codec extends to the post-copy page stream
+		// unless the client options pin their own.
+		copts.Codec = opts.Codec
 	}
 	client, err := criu.DialPageServerOpts(srv.Addr(), copts)
 	if err != nil {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"time"
@@ -101,34 +102,54 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 		defer func() { _ = recv.Close() }()
 	}
 	// ship moves one round's images to the destination and returns the
-	// directory as the destination sees it plus the payload size.
-	ship := func(dir *criu.ImageDir) (*criu.ImageDir, uint64, error) {
+	// directory as the destination sees it plus the marshaled (raw) and
+	// on-wire payload sizes. With a batch codec the in-process path
+	// round-trips the real stream encoder, so both paths report the same
+	// wire figure for the same images.
+	ship := func(dir *criu.ImageDir) (*criu.ImageDir, uint64, uint64, error) {
 		if !pc.TCP {
 			blob := dir.Marshal()
+			raw := uint64(len(blob))
+			if opts.Codec.Batched() {
+				var buf bytes.Buffer
+				wire, err := writeImageStream(&buf, blob, opts.Codec, 0, reg)
+				if err != nil {
+					return nil, 0, 0, fmt.Errorf("cluster: pre-copy encode: %w", err)
+				}
+				d2, err := readImageDirFrom(&buf)
+				return d2, raw, wire, err
+			}
 			d2, err := criu.UnmarshalImageDir(blob)
-			return d2, uint64(len(blob)), err
+			return d2, raw, raw, err
 		}
-		n, err := SendImages(recv.Addr(), dir)
+		raw, wire, err := SendImagesOpts(recv.Addr(), dir, SendOpts{
+			Codec: opts.Codec, Timeout: pc.ShipTimeout, Link: link, Obs: reg,
+		})
 		if err != nil {
-			return nil, 0, fmt.Errorf("cluster: pre-copy send: %w", err)
+			return nil, 0, 0, fmt.Errorf("cluster: pre-copy send: %w", err)
 		}
 		timeout := pc.ShipTimeout
 		if timeout <= 0 {
-			timeout = 20 * link.TransferTime(n)
+			timeout = 20 * link.TransferTime(wire)
 			if timeout < 2*time.Second {
 				timeout = 2 * time.Second
 			}
 		}
 		d, err := recv.TakeWait(timeout)
 		if err != nil {
-			return nil, 0, fmt.Errorf("cluster: pre-copy: %w", err)
+			return nil, 0, 0, fmt.Errorf("cluster: pre-copy: %w", err)
 		}
-		return d, n, nil
+		return d, raw, wire, nil
 	}
 
 	var chain []*criu.ImageDir // destination-side copies, oldest first
 	var parent *criu.ImageDir  // source-side previous dump
+	// base is the chain's resolved page content (Delta mode): what each
+	// round's re-dirtied pages are XOR-encoded against, advanced with
+	// every dump.
+	var base *criu.PageSet
 	var finalBytes uint64
+	var rawBytes uint64
 	// Per-round modeled costs for non-final rounds, so the span tree can
 	// show each overlapped round as its own phase.
 	type roundCost struct{ ck, xfer, recode time.Duration }
@@ -139,15 +160,27 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 		if err := mon.Pause(opts.MaxPauses); err != nil {
 			return nil, fmt.Errorf("cluster: pre-copy pause (round %d): %w", round, err)
 		}
-		dir, err := criu.Dump(p, criu.DumpOpts{Parent: parent, TrackMem: true, Obs: reg, Workers: opts.Workers, Dedup: opts.Dedup})
+		dopts := criu.DumpOpts{Parent: parent, TrackMem: true, Obs: reg, Workers: opts.Workers, Dedup: opts.Dedup}
+		if opts.Delta && parent != nil {
+			dopts.DeltaBase = base
+		}
+		dir, err := criu.Dump(p, dopts)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: pre-copy dump (round %d): %w", round, err)
 		}
+		if opts.Delta {
+			// Fold this round into the resolved chain content so the next
+			// round's deltas encode against it.
+			if base, err = criu.AdvanceBase(base, dir); err != nil {
+				return nil, fmt.Errorf("cluster: pre-copy delta base (round %d): %w", round, err)
+			}
+		}
 		dataPages := criu.DumpedPages(dir)
-		got, n, err := ship(dir)
+		got, rawN, n, err := ship(dir)
 		if err != nil {
 			return nil, err
 		}
+		rawBytes += rawN
 		// Each received link is verified on arrival, so a checkpoint
 		// corrupted in transit fails this round — with the invariant named
 		// — instead of poisoning the flatten after the final pause.
@@ -249,7 +282,10 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 	// twice reports the identical downtime (the determinism regression
 	// test pins this).
 	bd.Downtime = bd.Checkpoint + bd.Recode + bd.Copy + bd.Restore
-	bd.ImageBytes = bd.PreCopyBytes + finalBytes
+	// ImageBytes is the marshaled total; WireBytes is what the codec
+	// actually put on the link (RoundBytes holds the per-round figures).
+	bd.ImageBytes = rawBytes
+	bd.WireBytes = bd.PreCopyBytes + finalBytes
 
 	// Span tree: precopy rounds overlap execution; downtime is the final
 	// interruption. Parents finish with the exact sum of their children,

@@ -77,5 +77,12 @@ func (s *shipper) marshal(dir *criu.ImageDir, workers int) []byte {
 	for _, f := range frames {
 		blob = append(blob, f...)
 	}
+	// The frames are spent: a shipper reused across pre-copy rounds must
+	// not retain every round's pre-built frames — the freshness check
+	// would reject the stale ones anyway, so keeping them only pins each
+	// round's rewritten images in memory for the rest of the migration.
+	s.mu.Lock()
+	clear(s.frames)
+	s.mu.Unlock()
 	return blob
 }

@@ -3,24 +3,32 @@ package cluster
 import (
 	"encoding/binary"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
 
 	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/obs"
+	"github.com/dapper-sim/dapper/internal/parallel"
 )
 
 // ImageReceiver accepts checkpoint image directories over TCP — the scp
 // step of a real cross-node deployment. The in-process Migrate path uses
 // direct marshaling for speed; integration tests and multi-process
-// deployments use this.
+// deployments use this. Both wire framings are accepted per connection:
+// the legacy length-prefixed blob and the v3 segmented codec stream
+// (see wire.go) — the receiver sniffs which one the sender speaks.
 //
 // A malformed payload (truncated header, truncated body, oversized image,
 // undecodable directory) is dropped, counted in Errors, and does not
-// affect other transfers.
+// affect other transfers. Concurrent inbound transfers beyond MaxInflight
+// are rejected at accept and counted the same way.
 type ImageReceiver struct {
-	ln net.Listener
+	ln   net.Listener
+	opts ReceiverOpts
+	// sem bounds concurrent serving goroutines; a slot is taken before
+	// each one is spawned and released when it exits.
+	sem *parallel.Semaphore
 
 	mu     sync.Mutex
 	recv   []*criu.ImageDir
@@ -38,14 +46,37 @@ type ImageReceiver struct {
 	closeErr  error
 }
 
-// ListenImages starts a receiver on addr ("127.0.0.1:0" for tests).
+// ReceiverOpts tunes an ImageReceiver; the zero value selects the
+// defaults noted on each field.
+type ReceiverOpts struct {
+	// MaxInflight bounds concurrent inbound transfers (default 8). A
+	// connection accepted while every slot is busy is dropped immediately
+	// and counted in Errors — backpressure instead of unbounded buffering
+	// of attacker-sized payloads.
+	MaxInflight int
+}
+
+// ListenImages starts a receiver on addr ("127.0.0.1:0" for tests) with
+// default options.
 func ListenImages(addr string) (*ImageReceiver, error) {
+	return ListenImagesOpts(addr, ReceiverOpts{})
+}
+
+// ListenImagesOpts starts a receiver with explicit options.
+func ListenImagesOpts(addr string, opts ReceiverOpts) (*ImageReceiver, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: image receiver: %w", err)
 	}
+	if opts.MaxInflight <= 0 {
+		// Explicit default: NewSemaphore(0) would normalize to NumCPU,
+		// which is a build-machine fact, not a transport policy.
+		opts.MaxInflight = 8
+	}
 	r := &ImageReceiver{
 		ln:     ln,
+		opts:   opts,
+		sem:    parallel.NewSemaphore(opts.MaxInflight),
 		conns:  make(map[net.Conn]struct{}),
 		notify: make(chan struct{}, 1),
 		done:   make(chan struct{}),
@@ -58,7 +89,8 @@ func ListenImages(addr string) (*ImageReceiver, error) {
 // Addr returns the listen address.
 func (r *ImageReceiver) Addr() string { return r.ln.Addr().String() }
 
-// Errors returns how many inbound transfers were discarded as malformed.
+// Errors returns how many inbound transfers were discarded: malformed
+// payloads plus connections rejected at the MaxInflight bound.
 func (r *ImageReceiver) Errors() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -99,6 +131,16 @@ func (r *ImageReceiver) Take() *criu.ImageDir {
 	}
 	d := r.recv[0]
 	r.recv = r.recv[1:]
+	if len(r.recv) > 0 {
+		// Re-arm the signal: arrivals with no waiter parked collapse into
+		// the single buffered token, so after consuming one directory the
+		// token must be re-raised while more remain — otherwise a second
+		// waiter sleeps its full timeout next to a non-empty queue.
+		select {
+		case r.notify <- struct{}{}:
+		default:
+		}
+	}
 	return d
 }
 
@@ -143,11 +185,20 @@ func (r *ImageReceiver) acceptLoop() {
 			_ = conn.Close()
 			return
 		}
+		if !r.sem.TryAcquire() {
+			r.errs++
+			r.mu.Unlock()
+			// Over the inbound-transfer bound: shed the connection before
+			// reading a byte. The sender sees the reset and can retry.
+			_ = conn.Close()
+			continue
+		}
 		r.conns[conn] = struct{}{}
 		r.mu.Unlock()
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
+			defer r.sem.Release()
 			dir, err := readImageDir(conn)
 			// The payload is fully read (or failed and counted); a close
 			// error after that is peer-FIN noise.
@@ -173,44 +224,92 @@ func (r *ImageReceiver) acceptLoop() {
 	}
 }
 
-// SendImages copies a checkpoint directory to a receiver over TCP,
-// returning the bytes transferred (the scp payload size). A close failure
-// after the writes is reported: it can mean the payload never flushed.
-func SendImages(addr string, dir *criu.ImageDir) (n uint64, err error) {
+// SendOpts tunes SendImagesOpts; the zero value reproduces the legacy
+// SendImages behavior (raw framing, link-derived write deadline).
+type SendOpts struct {
+	// Codec selects the v3 segmented stream with optional per-segment
+	// compression; CodecRaw (the zero value) keeps the legacy
+	// length-prefixed framing, which any receiver version accepts.
+	Codec criu.Codec
+	// SegmentBytes caps each v3 segment's raw payload (default 4 MiB).
+	SegmentBytes int
+	// Timeout bounds the whole send. Zero derives it from the link
+	// model: 20x the modeled transfer time of the payload, floored at
+	// 2s, so a slow modeled link never trips the real transport.
+	Timeout time.Duration
+	// Link is the modeled link the default Timeout derives from; nil
+	// selects InfiniBand.
+	Link *Link
+	// Obs receives the v3 wire telemetry ("wire.*"); nil disables it.
+	Obs *obs.Registry
+}
+
+// SendImages copies a checkpoint directory to a receiver over TCP using
+// the legacy framing, returning the bytes transferred (the scp payload
+// size). A close failure after the writes is reported: it can mean the
+// payload never flushed.
+func SendImages(addr string, dir *criu.ImageDir) (uint64, error) {
+	_, wire, err := SendImagesOpts(addr, dir, SendOpts{})
+	return wire, err
+}
+
+// SendImagesOpts copies a checkpoint directory to a receiver over TCP,
+// returning the marshaled image size and the bytes actually put on the
+// wire (equal for raw framing; smaller when compression wins). The whole
+// send runs under a write deadline so a stalled receiver fails the
+// migration round instead of hanging it forever.
+func SendImagesOpts(addr string, dir *criu.ImageDir, opts SendOpts) (raw, wire uint64, err error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return 0, fmt.Errorf("cluster: send images: %w", err)
+		return 0, 0, fmt.Errorf("cluster: send images: %w", err)
 	}
 	defer func() {
 		if cerr := conn.Close(); cerr != nil && err == nil {
-			n, err = 0, fmt.Errorf("cluster: send images: close: %w", cerr)
+			raw, wire, err = 0, 0, fmt.Errorf("cluster: send images: close: %w", cerr)
 		}
 	}()
 	blob := dir.Marshal()
-	var hdr [8]byte
-	binary.BigEndian.PutUint64(hdr[:], uint64(len(blob)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return 0, err
+	raw = uint64(len(blob))
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		link := opts.Link
+		if link == nil {
+			link = &InfiniBand
+		}
+		timeout = 20 * link.TransferTime(raw)
+		if timeout < 2*time.Second {
+			timeout = 2 * time.Second
+		}
 	}
-	if _, err := conn.Write(blob); err != nil {
-		return 0, err
+	// The deadline covers every write of this send and is cleared before
+	// the close: a deadline left armed could fail the connection teardown
+	// with a timeout that belongs to a payload already delivered.
+	//lint:ignore wallclock write deadlines are real host-transport time by definition, never part of modeled migration cost
+	if derr := conn.SetWriteDeadline(time.Now().Add(timeout)); derr != nil {
+		return 0, 0, fmt.Errorf("cluster: send images: %w", derr)
 	}
-	return uint64(len(blob)) + 8, nil
+	if opts.Codec.Batched() {
+		wire, err = writeImageStream(conn, blob, opts.Codec, opts.SegmentBytes, opts.Obs)
+	} else {
+		var hdr [8]byte
+		binary.BigEndian.PutUint64(hdr[:], raw)
+		// One gathered write instead of header-then-blob: a single
+		// syscall, and no chance of the header flushing while the blob
+		// write dies separately.
+		bufs := net.Buffers{hdr[:], blob}
+		var n int64
+		n, err = bufs.WriteTo(conn)
+		wire = uint64(n)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	if derr := conn.SetWriteDeadline(time.Time{}); derr != nil {
+		return 0, 0, fmt.Errorf("cluster: send images: clear deadline: %w", derr)
+	}
+	return raw, wire, nil
 }
 
 func readImageDir(conn net.Conn) (*criu.ImageDir, error) {
-	var hdr [8]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint64(hdr[:])
-	const maxImage = 1 << 30
-	if n > maxImage {
-		return nil, fmt.Errorf("cluster: image of %d bytes exceeds limit", n)
-	}
-	blob := make([]byte, n)
-	if _, err := io.ReadFull(conn, blob); err != nil {
-		return nil, err
-	}
-	return criu.UnmarshalImageDir(blob)
+	return readImageDirFrom(conn)
 }

@@ -1,0 +1,291 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dapper-sim/dapper/internal/cluster"
+	"github.com/dapper-sim/dapper/internal/criu"
+)
+
+// smallDir builds a minimal valid image directory for transfer tests.
+func smallDir(tag byte) *criu.ImageDir {
+	dir := criu.NewImageDir()
+	dir.Put("inventory.img", []byte{tag, 2, 3, 4})
+	return dir
+}
+
+// TestTakeWaitConcurrentWaiters is the lost-wakeup regression (satellite:
+// TakeWait): two parked waiters, two near-simultaneous arrivals. The
+// buffered notify channel collapses both arrival signals into one token;
+// before the re-signal fix in Take, the second waiter slept its full
+// timeout next to a non-empty queue.
+func TestTakeWaitConcurrentWaiters(t *testing.T) {
+	recvr, err := cluster.ListenImages("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recvr.Close()
+
+	for iter := 0; iter < 10; iter++ {
+		waitErrs := make(chan error, 2)
+		for w := 0; w < 2; w++ {
+			go func() {
+				_, err := recvr.TakeWait(3 * time.Second)
+				waitErrs <- err
+			}()
+		}
+		// Let both waiters park in the select before anything arrives.
+		time.Sleep(10 * time.Millisecond)
+		var wg sync.WaitGroup
+		sendErrs := make(chan error, 2)
+		for s := 0; s < 2; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				_, err := cluster.SendImages(recvr.Addr(), smallDir(byte(s)))
+				sendErrs <- err
+			}(s)
+		}
+		wg.Wait()
+		close(sendErrs)
+		for err := range sendErrs {
+			if err != nil {
+				t.Fatalf("iter %d: send: %v", iter, err)
+			}
+		}
+		for w := 0; w < 2; w++ {
+			if err := <-waitErrs; err != nil {
+				t.Fatalf("iter %d: a waiter starved beside a non-empty queue: %v", iter, err)
+			}
+		}
+	}
+}
+
+// TestSendImagesStalledReceiverDeadline is the hung-sender regression
+// (satellite: SendImages deadline): against a peer that accepts but never
+// reads, the send must fail once its write deadline passes instead of
+// blocking forever on a full socket buffer.
+func TestSendImagesStalledReceiverDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// Test-listener teardown only.
+		_ = ln.Close()
+	}()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn // held open, never read
+	}()
+	defer func() {
+		select {
+		case conn := <-accepted:
+			// Stall-peer teardown only.
+			_ = conn.Close()
+		default:
+		}
+	}()
+
+	// Big enough to overrun every socket buffer between sender and the
+	// never-reading peer.
+	dir := criu.NewImageDir()
+	dir.Put("pages.img", bytes.Repeat([]byte{0x42}, 64<<20))
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cluster.SendImagesOpts(ln.Addr().String(), dir, cluster.SendOpts{
+			Timeout: 300 * time.Millisecond,
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("send to a never-reading peer reported success")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("send to a never-reading peer hung past its deadline (pre-fix behavior)")
+	}
+}
+
+// TestSendImagesCodecOverTCP runs the v3 compressed stream through the
+// real sender/receiver pair: the receiver sniffs the framing, the decoded
+// directory is byte-identical, and compression shrinks the wire volume.
+func TestSendImagesCodecOverTCP(t *testing.T) {
+	recvr, err := cluster.ListenImages("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recvr.Close()
+
+	dir := criu.NewImageDir()
+	dir.Put("core-1.img", []byte{1, 2, 3})
+	dir.Put("pages.img", bytes.Repeat([]byte{0}, 1<<20))
+	blob := dir.Marshal()
+
+	raw, wire, err := cluster.SendImagesOpts(recvr.Addr(), dir, cluster.SendOpts{
+		Codec: criu.CodecFlate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != uint64(len(blob)) {
+		t.Errorf("raw = %d, want marshaled size %d", raw, len(blob))
+	}
+	if wire >= raw {
+		t.Errorf("flate transfer did not shrink: raw %d, wire %d", raw, wire)
+	}
+	got, err := recvr.TakeWait(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Marshal(), blob) {
+		t.Error("compressed transfer decoded to a different directory")
+	}
+}
+
+// TestImageReceiverMaxInflight (satellite: inbound bound): with one
+// inflight slot occupied by a stalled transfer, a second connection is
+// shed at accept and counted; once the slot frees, transfers work again.
+func TestImageReceiverMaxInflight(t *testing.T) {
+	recvr, err := cluster.ListenImagesOpts("127.0.0.1:0", cluster.ReceiverOpts{MaxInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recvr.Close()
+
+	// Occupy the only slot: claim a body, deliver nothing.
+	stall, err := net.Dial("tcp", recvr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], 1<<20)
+	if _, err := stall.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the slot be acquired
+
+	// A second transfer while the slot is busy: shed at accept. The send
+	// itself may report success (its bytes fit the socket buffer before
+	// the reset lands); the receiver-side reject count is the contract.
+	_, _ = cluster.SendImages(recvr.Addr(), smallDir(1))
+	waitForErrors(t, recvr, 1)
+	if d := recvr.Take(); d != nil {
+		t.Fatalf("over-bound transfer produced a directory: %v", d.Names())
+	}
+
+	// Free the slot (truncated body counts as error #2)...
+	// Stalled conn teardown is the point of this line.
+	_ = stall.Close()
+	waitForErrors(t, recvr, 2)
+
+	// ...and the receiver serves normal transfers again.
+	if _, err := cluster.SendImages(recvr.Addr(), smallDir(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := recvr.TakeWait(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw, _ := got.Get("inventory.img"); len(raw) != 4 || raw[0] != 2 {
+		t.Errorf("post-recovery transfer decoded wrong: %v", raw)
+	}
+	if got := recvr.Errors(); got != 2 {
+		t.Errorf("Errors = %d, want 2 (one shed connection, one truncated body)", got)
+	}
+}
+
+// TestImageReceiverMalformedV3Streams feeds the receiver corrupt v3
+// headers and segments; each is counted and none may produce a directory
+// or a large allocation, and a valid compressed transfer still works.
+func TestImageReceiverMalformedV3Streams(t *testing.T) {
+	recvr, err := cluster.ListenImages("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recvr.Close()
+
+	send := func(payload []byte) {
+		t.Helper()
+		conn, err := net.Dial("tcp", recvr.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		// One-shot malformed payload; peer drops it regardless.
+		_ = conn.Close()
+	}
+	v3hdr := func(codec byte, pad byte, rawTotal uint64) []byte {
+		b := append([]byte("DIB3"), codec, pad, 0, 0)
+		var tot [8]byte
+		binary.BigEndian.PutUint64(tot[:], rawTotal)
+		return append(b, tot[:]...)
+	}
+	seg := func(rawLen, wireLen uint32, codec byte) []byte {
+		var b [9]byte
+		binary.BigEndian.PutUint32(b[0:4], rawLen)
+		binary.BigEndian.PutUint32(b[4:8], wireLen)
+		b[8] = codec
+		return b[:]
+	}
+
+	want := uint64(0)
+	// Unknown header codec byte.
+	send(v3hdr(0x7F, 0, 100))
+	want++
+	waitForErrors(t, recvr, want)
+	// Nonzero padding: not a v3 header this receiver speaks.
+	send(v3hdr(1, 9, 100))
+	want++
+	waitForErrors(t, recvr, want)
+	// Whole-image size over the 1 GiB cap.
+	send(v3hdr(1, 0, 2<<30))
+	want++
+	waitForErrors(t, recvr, want)
+	// Empty segment inside a non-empty stream.
+	send(append(v3hdr(1, 0, 100), seg(0, 0, 1)...))
+	want++
+	waitForErrors(t, recvr, want)
+	// Segment raw size over the per-segment cap.
+	send(append(v3hdr(1, 0, 512<<20), seg(16<<20, 10, 1)...))
+	want++
+	waitForErrors(t, recvr, want)
+	// Segment claiming more wire bytes than raw bytes (Compress never
+	// expands, so this proves corruption).
+	send(append(v3hdr(1, 0, 100), seg(10, 11, 1)...))
+	want++
+	waitForErrors(t, recvr, want)
+	// Segments overflowing the declared total.
+	send(append(v3hdr(1, 0, 4), seg(8, 8, 1)...))
+	want++
+	waitForErrors(t, recvr, want)
+
+	if d := recvr.Take(); d != nil {
+		t.Fatalf("malformed v3 stream produced a directory: %v", d.Names())
+	}
+	// Still healthy for a real v3 transfer.
+	if _, _, err := cluster.SendImagesOpts(recvr.Addr(), smallDir(7), cluster.SendOpts{
+		Codec: criu.CodecFlate,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recvr.TakeWait(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvr.Errors(); got != want {
+		t.Errorf("Errors = %d, want %d", got, want)
+	}
+}

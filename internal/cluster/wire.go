@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/obs"
+)
+
+// Image transfer wire format v3: a self-describing segmented stream with
+// optional per-segment compression, sharing the codec layer (and its
+// telemetry names) with the page protocol's batch frames. See
+// docs/transport.md.
+//
+//	stream  := "DIB3" codec(u8) pad(3 zero bytes) rawTotal(u64 BE) segment...
+//	segment := rawLen(u32 BE) wireLen(u32 BE) codec(u8) payload[wireLen]
+//
+// Segments concatenate (after decoding) to exactly rawTotal bytes of
+// ImageDir.Marshal output. Each segment carries its own codec byte
+// because Compress falls back to CodecNone per segment when compression
+// does not shrink it; the header codec records what was requested. The
+// receiver sniffs the first 8 bytes: the legacy framing is a u64 BE
+// length capped at 1 GiB, so its first four bytes are always zero and
+// can never read "DIB3".
+const (
+	imageMagic     = "DIB3"
+	imageSegHdrLen = 9
+	// maxImageBytes caps a whole transfer (both framings); it doubles as
+	// proof that a legacy length header never collides with the magic.
+	maxImageBytes = 1 << 30
+	// maxImageSegment caps one v3 segment's raw payload; the writer's
+	// default stays well under it.
+	maxImageSegment     = 8 << 20
+	defaultImageSegment = 4 << 20
+	// recvChunk bounds how much readBounded grows per read, so a corrupt
+	// length header allocates memory only as fast as bytes actually
+	// arrive instead of committing the claimed size up front.
+	recvChunk = 1 << 20
+)
+
+// writeImageStream writes blob as a v3 stream, compressing each segment
+// with codec, and returns the total bytes put on the wire. segBytes <= 0
+// selects the default segment size. Wire telemetry ("wire.*") lands in
+// reg; nil disables recording.
+func writeImageStream(w io.Writer, blob []byte, codec criu.Codec, segBytes int, reg *obs.Registry) (uint64, error) {
+	if !codec.Batched() {
+		return 0, fmt.Errorf("cluster: codec %s cannot frame an image stream", codec)
+	}
+	if segBytes <= 0 {
+		segBytes = defaultImageSegment
+	}
+	if segBytes > maxImageSegment {
+		segBytes = maxImageSegment
+	}
+	if uint64(len(blob)) > maxImageBytes {
+		return 0, fmt.Errorf("cluster: image of %d bytes exceeds limit", len(blob))
+	}
+	hdr := make([]byte, 16)
+	copy(hdr, imageMagic)
+	hdr[4] = byte(codec)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(len(blob)))
+	if _, err := w.Write(hdr); err != nil {
+		return 0, err
+	}
+	wire := uint64(len(hdr))
+	for off := 0; off < len(blob) || off == 0; {
+		end := off + segBytes
+		if end > len(blob) {
+			end = len(blob)
+		}
+		raw := blob[off:end]
+		//lint:ignore wallclock codec_ns is host-side codec cost telemetry, never part of modeled migration time
+		start := time.Now()
+		payload, used, err := codec.Compress(raw)
+		//lint:ignore wallclock codec_ns is host-side codec cost telemetry, never part of modeled migration time
+		reg.Histogram("wire.codec_ns").Observe(time.Since(start))
+		if err != nil {
+			return 0, err
+		}
+		seg := make([]byte, imageSegHdrLen)
+		binary.BigEndian.PutUint32(seg[0:4], uint32(len(raw)))
+		binary.BigEndian.PutUint32(seg[4:8], uint32(len(payload)))
+		seg[8] = byte(used)
+		bufs := net.Buffers{seg, payload}
+		if _, err := bufs.WriteTo(w); err != nil {
+			return 0, err
+		}
+		wire += uint64(imageSegHdrLen + len(payload))
+		reg.Counter("wire.batches").Inc()
+		reg.Counter("wire.bytes_raw").Add(uint64(len(raw)))
+		reg.Counter("wire.bytes_wire").Add(uint64(imageSegHdrLen + len(payload)))
+		off = end
+		if len(blob) == 0 {
+			break
+		}
+	}
+	return wire, nil
+}
+
+// readImageDirFrom reads one image transfer — either framing — and
+// decodes the directory. Malformed input fails without large allocations:
+// both paths grow buffers only as bytes actually arrive.
+func readImageDirFrom(r io.Reader) (*criu.ImageDir, error) {
+	var pre [8]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, err
+	}
+	if string(pre[:4]) != imageMagic {
+		// Legacy framing: the 8 bytes are the payload length.
+		n := binary.BigEndian.Uint64(pre[:])
+		if n > maxImageBytes {
+			return nil, fmt.Errorf("cluster: image of %d bytes exceeds limit", n)
+		}
+		blob, err := readBounded(r, n)
+		if err != nil {
+			return nil, err
+		}
+		return criu.UnmarshalImageDir(blob)
+	}
+	if pre[5] != 0 || pre[6] != 0 || pre[7] != 0 {
+		return nil, fmt.Errorf("cluster: image stream: nonzero header padding")
+	}
+	if hdrCodec := criu.Codec(pre[4]); !hdrCodec.Batched() {
+		return nil, fmt.Errorf("cluster: image stream: bad codec %s", hdrCodec)
+	}
+	var tot [8]byte
+	if _, err := io.ReadFull(r, tot[:]); err != nil {
+		return nil, err
+	}
+	rawTotal := binary.BigEndian.Uint64(tot[:])
+	if rawTotal > maxImageBytes {
+		return nil, fmt.Errorf("cluster: image of %d bytes exceeds limit", rawTotal)
+	}
+	blob := make([]byte, 0, minU64(rawTotal, recvChunk))
+	for uint64(len(blob)) < rawTotal || rawTotal == 0 {
+		var seg [imageSegHdrLen]byte
+		if _, err := io.ReadFull(r, seg[:]); err != nil {
+			return nil, err
+		}
+		rawLen := binary.BigEndian.Uint32(seg[0:4])
+		wireLen := binary.BigEndian.Uint32(seg[4:8])
+		codec := criu.Codec(seg[8])
+		switch {
+		case !codec.Batched():
+			return nil, fmt.Errorf("cluster: image stream: bad segment codec %s", codec)
+		case rawLen == 0 && rawTotal != 0:
+			return nil, fmt.Errorf("cluster: image stream: empty segment")
+		case rawLen > maxImageSegment:
+			return nil, fmt.Errorf("cluster: image segment of %d bytes exceeds limit", rawLen)
+		case uint64(wireLen) > uint64(rawLen):
+			return nil, fmt.Errorf("cluster: image segment wire size %d exceeds raw size %d", wireLen, rawLen)
+		case uint64(len(blob))+uint64(rawLen) > rawTotal:
+			return nil, fmt.Errorf("cluster: image segments overflow the declared %d bytes", rawTotal)
+		}
+		payload, err := readBounded(r, uint64(wireLen))
+		if err != nil {
+			return nil, err
+		}
+		raw, err := codec.Decompress(payload, int(rawLen))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: image stream: %w", err)
+		}
+		blob = append(blob, raw...)
+		if rawTotal == 0 {
+			break
+		}
+	}
+	return criu.UnmarshalImageDir(blob)
+}
+
+// readBounded reads exactly n bytes, growing the buffer in bounded
+// chunks so the allocation tracks delivery, not the peer's claim.
+func readBounded(r io.Reader, n uint64) ([]byte, error) {
+	blob := make([]byte, 0, minU64(n, recvChunk))
+	for uint64(len(blob)) < n {
+		c := n - uint64(len(blob))
+		if c > recvChunk {
+			c = recvChunk
+		}
+		off := len(blob)
+		blob = append(blob, make([]byte, c)...)
+		if _, err := io.ReadFull(r, blob[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return blob, nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -32,6 +32,16 @@ type DumpOpts struct {
 	// (CRIU's --track-mem), so the next Dump can pass this directory as
 	// Parent.
 	TrackMem bool
+	// DeltaBase, if set alongside Parent, enables XOR-delta encoding of
+	// dirty pages: a dirty page the parent chain also holds is stored as
+	// the XOR of its bytes with the chain's resolved content for that
+	// address (mostly zeros for small mutations — the wire codec's best
+	// case), marked with the pagemap delta flag. DeltaBase must be the
+	// chain's resolved page content up to and including Parent; maintain
+	// it across rounds with AdvanceBase. A dirty page whose XOR comes out
+	// all-zero (a soft-dirty false positive) is demoted to in_parent,
+	// eliding its bytes entirely.
+	DeltaBase *PageSet
 	// Obs, if set, receives dump telemetry: per-class page counters
 	// (dumped / zero / lazy / elided-as-in_parent) and the host wall time
 	// of the dump. Nil disables recording.
@@ -62,6 +72,9 @@ func Dump(p *kernel.Process, opts DumpOpts) (*ImageDir, error) {
 	}
 	if opts.Parent != nil && opts.Lazy {
 		return nil, fmt.Errorf("criu: incremental dumps are incompatible with lazy dumps")
+	}
+	if opts.DeltaBase != nil && opts.Parent == nil {
+		return nil, fmt.Errorf("criu: delta encoding requires an incremental dump (set Parent)")
 	}
 	var dirty map[uint64]bool
 	var inParent map[uint64]bool
@@ -158,6 +171,20 @@ func Dump(p *kernel.Process, opts DumpOpts) (*ImageDir, error) {
 				out = append(out, shardPage{addr: addr, cls: shardZero})
 				continue
 			}
+			if opts.DeltaBase != nil && opts.Parent != nil && inParent[addr] {
+				// Dirty page with known parent content: ship the XOR.
+				if basePg, ok := deltaBaseContent(opts.DeltaBase, addr); ok {
+					xor := XorPages(data, basePg)
+					if allZero(xor) {
+						// Soft-dirty false positive: content is unchanged,
+						// so the chain still holds it — no bytes at all.
+						out = append(out, shardPage{addr: addr, cls: shardParent})
+						continue
+					}
+					out = append(out, shardPage{addr: addr, cls: shardDelta, data: xor})
+					continue
+				}
+			}
 			pg := make([]byte, mem.PageSize)
 			copy(pg, data)
 			out = append(out, shardPage{addr: addr, cls: shardData, data: pg})
@@ -180,6 +207,9 @@ func Dump(p *kernel.Process, opts DumpOpts) (*ImageDir, error) {
 				ps.ParentPages[sp.addr] = true
 			case shardZero:
 				ps.ZeroPages[sp.addr] = true
+			case shardDelta:
+				ps.Pages[sp.addr] = sp.data
+				ps.DeltaPages[sp.addr] = true
 			}
 		}
 	}
@@ -198,6 +228,7 @@ func Dump(p *kernel.Process, opts DumpOpts) (*ImageDir, error) {
 	opts.Obs.Counter("dump.pages_zero").Add(uint64(len(ps.ZeroPages)))
 	opts.Obs.Counter("dump.pages_lazy").Add(uint64(len(ps.LazyPages)))
 	opts.Obs.Counter("dump.pages_parent").Add(uint64(len(ps.ParentPages)))
+	opts.Obs.Counter("dump.pages_delta").Add(uint64(len(ps.DeltaPages)))
 	opts.Obs.Histogram("dump.wall_ns").Observe(time.Since(start))
 	return dir, nil
 }
@@ -216,7 +247,19 @@ const (
 	shardLazy
 	shardParent
 	shardZero
+	shardDelta
 )
+
+// deltaBaseContent returns the base content to XOR a dirty page against,
+// or ok=false when XOR gains nothing: a zero base page XORs to the page
+// itself, an unresolved (delta/parent/lazy) base has no usable bytes.
+func deltaBaseContent(base *PageSet, addr uint64) ([]byte, bool) {
+	pg, ok := base.Pages[addr]
+	if !ok || pg == nil || base.DeltaPages[addr] {
+		return nil, false
+	}
+	return pg, true
+}
 
 // allZero reports whether a page's bytes are all zero (the zero pagemap
 // flag: such pages restore demand-zero and need no bytes in pages.img).

@@ -13,6 +13,7 @@ package criu
 
 import (
 	"github.com/dapper-sim/dapper/internal/image"
+	"github.com/dapper-sim/dapper/internal/imgproto"
 )
 
 // Image types, re-exported from internal/image. Type aliases preserve
@@ -78,3 +79,22 @@ func NewPageSet() *PageSet { return image.NewPageSet() }
 
 // LoadPageSet parses the pagemap/pages pair from a directory.
 func LoadPageSet(dir *ImageDir) (*PageSet, error) { return image.LoadPageSet(dir) }
+
+// XorPages returns the byte-wise XOR of two pages (the delta encoding
+// and its inverse are the same operation).
+func XorPages(a, b []byte) []byte { return image.XorPages(a, b) }
+
+// Codec selects the wire codec for batched transport frames; see
+// imgproto.Codec and docs/transport.md. Re-exported so transport callers
+// need not import the codec layer directly.
+type Codec = imgproto.Codec
+
+// Wire codecs, re-exported from imgproto.
+const (
+	// CodecRaw keeps the legacy unbatched framing (the zero value).
+	CodecRaw = imgproto.CodecRaw
+	// CodecNone batches frames without compression.
+	CodecNone = imgproto.CodecNone
+	// CodecFlate batches frames and DEFLATE-compresses each batch.
+	CodecFlate = imgproto.CodecFlate
+)

@@ -9,7 +9,9 @@ import (
 // Incremental checkpoint chains (pre-copy migration). Each dump taken with
 // DumpOpts.Parent records unchanged pages as in_parent entries; the chain
 // is resolved newest-wins into a single self-contained directory before
-// restore, mirroring CRIU's parent-image directories.
+// restore, mirroring CRIU's parent-image directories. Dumps taken with
+// DumpOpts.DeltaBase additionally ship re-dirtied pages as XOR deltas
+// against the chain's resolved content, which FlattenChain undoes.
 
 // CoveredPages returns every page address the directory's pagemap
 // mentions, regardless of entry kind. Because each dump in a chain emits
@@ -35,18 +37,67 @@ func CoveredPages(dir *ImageDir) (map[uint64]bool, error) {
 }
 
 // DumpedPages returns the number of pages whose bytes the directory
-// actually carries (the data pages of pages.img) — the size of a
-// pre-copy round's delta, which the convergence heuristics watch.
+// actually carries (the data and delta pages of pages.img) — the size of
+// a pre-copy round's delta, which the convergence heuristics watch.
 func DumpedPages(dir *ImageDir) int {
 	raw, _ := dir.Get("pages.img")
 	return len(raw) / mem.PageSize
 }
 
+// Resolved page kinds returned by the chain resolver.
+const (
+	chainData = iota
+	chainZero
+	chainLazy
+)
+
+// errChainAbsent reports an address that fell off the bottom of the
+// chain without resolving; callers wrap it with the flag that asked.
+var errChainAbsent = fmt.Errorf("criu: page absent from the chain")
+
+// resolveChain returns the content of addr as of chain link i: data
+// bytes (XOR deltas applied recursively), a zero page, or a lazy marker.
+func resolveChain(sets []*PageSet, addr uint64, i int) (kind int, pg []byte, err error) {
+	for j := i; j >= 0; j-- {
+		ps := sets[j]
+		if b, ok := ps.Pages[addr]; ok && b != nil {
+			if !ps.DeltaPages[addr] {
+				return chainData, b, nil
+			}
+			k, basePg, err := resolveChain(sets, addr, j-1)
+			if err != nil {
+				return 0, nil, err
+			}
+			switch k {
+			case chainData:
+				return chainData, XorPages(b, basePg), nil
+			case chainZero:
+				// XOR against zeros is the delta itself.
+				return chainData, XorPages(b, nil), nil
+			default:
+				return 0, nil, fmt.Errorf("criu: delta page 0x%x in chain link %d resolves to a lazy page", addr, j)
+			}
+		}
+		switch {
+		case ps.ZeroPages[addr]:
+			return chainZero, nil, nil
+		case ps.LazyPages[addr]:
+			return chainLazy, nil, nil
+		case ps.ParentPages[addr]:
+			continue // defer to the next-older link
+		}
+		break
+	}
+	return 0, nil, errChainAbsent
+}
+
 // FlattenChain squashes an incremental checkpoint chain — ordered oldest
 // (the full parent) to newest (the final delta) — into one self-contained
 // directory. Non-page images come from the newest dump; each page address
-// in the newest pagemap resolves newest-wins down the chain. The result
-// restores exactly as a full dump taken at the newest checkpoint would.
+// in the newest pagemap resolves newest-wins down the chain, applying
+// XOR deltas against the older content they were encoded from. The
+// result restores exactly as a full dump taken at the newest checkpoint
+// would.
 func FlattenChain(chain []*ImageDir) (*ImageDir, error) {
 	if len(chain) == 0 {
 		return nil, fmt.Errorf("criu: empty checkpoint chain")
@@ -61,29 +112,29 @@ func FlattenChain(chain []*ImageDir) (*ImageDir, error) {
 	}
 	newest := sets[len(sets)-1]
 	out := NewPageSet()
-	resolve := func(addr uint64) error {
-		for i := len(sets) - 1; i >= 0; i-- {
-			ps := sets[i]
-			if pg, ok := ps.Pages[addr]; ok && pg != nil {
-				out.Pages[addr] = pg
-				return nil
-			}
-			switch {
-			case ps.ZeroPages[addr]:
-				out.ZeroPages[addr] = true
-				return nil
-			case ps.LazyPages[addr]:
-				out.LazyPages[addr] = true
-				return nil
-			case ps.ParentPages[addr]:
-				continue // defer to the next-older link
-			}
-			break
+	install := func(addr uint64, kind int, pg []byte) {
+		switch kind {
+		case chainData:
+			out.Pages[addr] = pg
+		case chainZero:
+			out.ZeroPages[addr] = true
+		case chainLazy:
+			out.LazyPages[addr] = true
 		}
-		return fmt.Errorf("criu: page 0x%x marked in_parent but absent from the chain", addr)
 	}
-	for addr := range newest.Pages {
-		out.Pages[addr] = newest.Pages[addr]
+	for addr, pg := range newest.Pages {
+		if !newest.DeltaPages[addr] {
+			out.Pages[addr] = pg
+			continue
+		}
+		kind, resolved, err := resolveChain(sets, addr, len(sets)-1)
+		if err != nil {
+			if err == errChainAbsent {
+				err = fmt.Errorf("criu: page 0x%x marked delta but its base is absent from the chain", addr)
+			}
+			return nil, err
+		}
+		install(addr, kind, resolved)
 	}
 	for addr := range newest.ZeroPages {
 		out.ZeroPages[addr] = true
@@ -92,9 +143,14 @@ func FlattenChain(chain []*ImageDir) (*ImageDir, error) {
 		out.LazyPages[addr] = true
 	}
 	for addr := range newest.ParentPages {
-		if err := resolve(addr); err != nil {
+		kind, resolved, err := resolveChain(sets, addr, len(sets)-1)
+		if err != nil {
+			if err == errChainAbsent {
+				err = fmt.Errorf("criu: page 0x%x marked in_parent but absent from the chain", addr)
+			}
 			return nil, err
 		}
+		install(addr, kind, resolved)
 	}
 
 	flat := NewImageDir()
@@ -108,4 +164,50 @@ func FlattenChain(chain []*ImageDir) (*ImageDir, error) {
 	}
 	out.Store(flat)
 	return flat, nil
+}
+
+// AdvanceBase folds one just-taken incremental dump into the chain's
+// resolved page content, returning the base for the NEXT round's
+// DumpOpts.DeltaBase. Pass base=nil with the chain's first (full) dump;
+// thereafter pass the previous return value and the newest dump. The
+// returned set holds plain content only (no delta, parent, or lazy
+// entries) — exactly what the delta encoder XORs against — and may share
+// storage with base.
+func AdvanceBase(base *PageSet, dir *ImageDir) (*PageSet, error) {
+	ps, err := LoadPageSet(dir)
+	if err != nil {
+		return nil, fmt.Errorf("criu: delta base: %w", err)
+	}
+	if len(ps.LazyPages) > 0 {
+		return nil, fmt.Errorf("criu: delta base: %d lazy pages in an incremental dump", len(ps.LazyPages))
+	}
+	if base == nil {
+		if len(ps.ParentPages) > 0 || len(ps.DeltaPages) > 0 {
+			return nil, fmt.Errorf("criu: delta base: the chain's first dump has %d parent and %d delta pages",
+				len(ps.ParentPages), len(ps.DeltaPages))
+		}
+		return ps, nil
+	}
+	for addr, pg := range ps.Pages {
+		if ps.DeltaPages[addr] {
+			old, ok := deltaBaseContent(base, addr)
+			if !ok {
+				if !base.ZeroPages[addr] {
+					return nil, fmt.Errorf("criu: delta base: page 0x%x has no content to apply its delta to", addr)
+				}
+				old = nil
+			}
+			base.Pages[addr] = XorPages(pg, old)
+		} else {
+			base.Pages[addr] = pg
+		}
+		delete(base.ZeroPages, addr)
+	}
+	for addr := range ps.ZeroPages {
+		delete(base.Pages, addr)
+		delete(base.DeltaPages, addr)
+		base.ZeroPages[addr] = true
+	}
+	// in_parent entries: the base already holds the chain's content.
+	return base, nil
 }

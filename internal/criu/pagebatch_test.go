@@ -1,0 +1,439 @@
+package criu
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dapper-sim/dapper/internal/imgproto"
+	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/obs"
+)
+
+// batchOf builds the raw payload (concatenated v2 response frames) for a
+// batch and returns it with the frame count.
+func batchOf(frames ...[]byte) ([]byte, int) {
+	var raw []byte
+	for _, f := range frames {
+		raw = append(raw, f...)
+	}
+	return raw, len(frames)
+}
+
+func TestPageBatchRoundTrip(t *testing.T) {
+	for _, codec := range []imgproto.Codec{imgproto.CodecNone, imgproto.CodecFlate} {
+		t.Run(codec.String(), func(t *testing.T) {
+			raw, count := batchOf(
+				encodePageResponse(1, pagePattern(0)),
+				encodePageResponse(2, pagePattern(mem.PageSize)),
+				encodePageError(3, errors.New("no such page")),
+				encodePageResponse(4, pagePattern(7*mem.PageSize)),
+			)
+			var buf bytes.Buffer
+			rawN, wireN, err := writePageBatch(&buf, codec, count, raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rawN != len(raw) {
+				t.Errorf("rawN = %d, want %d", rawN, len(raw))
+			}
+			if wireN != buf.Len() {
+				t.Errorf("wireN = %d, but %d bytes were written", wireN, buf.Len())
+			}
+			// Compress never expands: the batch frame is at most header +
+			// raw payload, whatever codec was asked for.
+			if wireN > pageBatchHdrLen+len(raw) {
+				t.Errorf("wire frame %d bytes exceeds raw %d + header", wireN, len(raw))
+			}
+			resps, err := readPageBatch(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resps) != count {
+				t.Fatalf("decoded %d frames, want %d", len(resps), count)
+			}
+			checkPage(t, 0, resps[0].Page)
+			checkPage(t, mem.PageSize, resps[1].Page)
+			if resps[2].Remote != "no such page" {
+				t.Errorf("error frame message %q, want %q", resps[2].Remote, "no such page")
+			}
+			checkPage(t, 7*mem.PageSize, resps[3].Page)
+			for i, want := range []uint32{1, 2, 3, 4} {
+				if resps[i].ID != want {
+					t.Errorf("frame %d ID = %d, want %d", i, resps[i].ID, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPageBatchFlateShrinks pins that the flate codec actually compresses
+// a compressible batch — zero pages here, like the untouched tail of a
+// guest heap.
+func TestPageBatchFlateShrinks(t *testing.T) {
+	raw, count := batchOf(
+		encodePageResponse(1, make([]byte, mem.PageSize)),
+		encodePageResponse(2, make([]byte, mem.PageSize)),
+	)
+	var buf bytes.Buffer
+	rawN, wireN, err := writePageBatch(&buf, imgproto.CodecFlate, count, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wireN >= rawN {
+		t.Errorf("flate batch of zero pages did not shrink: raw %d, wire %d", rawN, wireN)
+	}
+}
+
+// TestReadPageBatchDesync feeds readPageBatch every class of framing
+// violation; each must be flagged as errBatchDesync, while a merely
+// truncated stream (a clean teardown mid-frame) must NOT be.
+func TestReadPageBatchDesync(t *testing.T) {
+	goodBatch := func() []byte {
+		raw, count := batchOf(encodePageResponse(9, pagePattern(mem.PageSize)))
+		var buf bytes.Buffer
+		if _, _, err := writePageBatch(&buf, imgproto.CodecNone, count, raw); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name   string
+		frame  func() []byte
+		desync bool
+	}{
+		{"bad magic", func() []byte {
+			b := goodBatch()
+			b[0] = 0x5A
+			return b
+		}, true},
+		{"bad codec byte", func() []byte {
+			b := goodBatch()
+			b[1] = 0x7F
+			return b
+		}, true},
+		{"raw codec byte", func() []byte {
+			// CodecRaw is the legacy non-batch marker; it can never label a
+			// batch frame.
+			b := goodBatch()
+			b[1] = byte(imgproto.CodecRaw)
+			return b
+		}, true},
+		{"zero count", func() []byte {
+			b := goodBatch()
+			b[2], b[3] = 0, 0
+			return b
+		}, true},
+		{"raw size over limit", func() []byte {
+			b := goodBatch()
+			putU32(b[4:8], maxBatchRaw+1)
+			return b
+		}, true},
+		{"wire exceeds raw", func() []byte {
+			b := goodBatch()
+			putU32(b[8:12], uint32(len(b)-pageBatchHdrLen+1))
+			return append(b, 0x00) // keep the payload read satisfiable
+		}, true},
+		{"count too large for raw", func() []byte {
+			b := goodBatch()
+			b[2], b[3] = 0xFF, 0xFF
+			return b
+		}, true},
+		{"short frame count", func() []byte {
+			// Header claims two frames, payload holds one.
+			raw, _ := batchOf(encodePageResponse(9, pagePattern(0)))
+			var buf bytes.Buffer
+			if _, _, err := writePageBatch(&buf, imgproto.CodecNone, 2, raw); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}, true},
+		{"trailing bytes", func() []byte {
+			raw, _ := batchOf(encodePageResponse(9, pagePattern(0)))
+			raw = append(raw, 0xAA, 0xBB)
+			var buf bytes.Buffer
+			if _, _, err := writePageBatch(&buf, imgproto.CodecNone, 1, raw); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}, true},
+		{"garbled flate payload", func() []byte {
+			b := goodBatch()
+			b[1] = byte(imgproto.CodecFlate) // none-payload labeled flate
+			return b
+		}, true},
+		{"truncated payload", func() []byte {
+			b := goodBatch()
+			return b[:len(b)-10]
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := readPageBatch(bytes.NewReader(tc.frame()))
+			if err == nil {
+				t.Fatal("corrupt batch frame decoded without error")
+			}
+			if got := errors.Is(err, errBatchDesync); got != tc.desync {
+				t.Errorf("errors.Is(err, errBatchDesync) = %v, want %v (err: %v)", got, tc.desync, err)
+			}
+		})
+	}
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+// TestPageClientBatchedFetch runs the full negotiated v3 path end to end:
+// concurrent pipelined fetches over batched, compressed frames, with the
+// same content checks as the v2 test plus the batch telemetry on both
+// sides — and an error frame that must survive batching intact.
+func TestPageClientBatchedFetch(t *testing.T) {
+	// Outside the 64-page sweep below so only the explicit fetch hits it.
+	bad := uint64(1000) * mem.PageSize
+	src := &mapSource{failAddr: map[uint64]error{bad: errors.New("backing store gone")}}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	srv := ServePagesOpts(ln, src, PageServerOpts{Obs: reg})
+	defer srv.Close()
+	c, err := DialPageServerOpts(srv.Addr(), PageClientOpts{
+		Conns: 2, Codec: imgproto.CodecFlate,
+		MaxRetries: 1, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			addr := uint64(i) * mem.PageSize
+			page, err := c.FetchPage(addr)
+			if err != nil {
+				errs <- fmt.Errorf("page 0x%x: %w", addr, err)
+				return
+			}
+			want := pagePattern(addr)
+			for j := range want {
+				if page[j] != want[j] {
+					errs <- fmt.Errorf("page 0x%x corrupt at %d", addr, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// An error frame inside a batch must still surface as RemoteFetchError
+	// without desynchronizing the stream.
+	if _, err := c.FetchPage(bad); err == nil {
+		t.Fatal("fetch of failing page succeeded")
+	} else {
+		var remote *RemoteFetchError
+		if !errors.As(err, &remote) {
+			t.Fatalf("error %v is not a RemoteFetchError", err)
+		}
+	}
+	page, err := c.FetchPage(3 * mem.PageSize)
+	if err != nil {
+		t.Fatalf("fetch after batched error frame: %v", err)
+	}
+	checkPage(t, 3*mem.PageSize, page)
+
+	st := c.Stats()
+	if st.Batches == 0 {
+		t.Error("no batch frames received despite negotiated codec")
+	}
+	if st.HelloFallbacks != 0 {
+		t.Errorf("HelloFallbacks = %d against a v3 server, want 0", st.HelloFallbacks)
+	}
+	if st.BatchDesyncs != 0 {
+		t.Errorf("BatchDesyncs = %d, want 0", st.BatchDesyncs)
+	}
+	if reg.Counter("wire.batches").Value() == 0 {
+		t.Error("server recorded no wire.batches")
+	}
+	raw, wire := reg.Counter("wire.bytes_raw").Value(), reg.Counter("wire.bytes_wire").Value()
+	if raw == 0 || wire == 0 {
+		t.Errorf("wire byte telemetry missing: raw %d, wire %d", raw, wire)
+	}
+}
+
+// TestPageHelloFallbackV2Server dials a hand-rolled v2-only server with a
+// batch codec requested: the hello must be served as an ordinary page
+// request, the client must silently fall back to raw framing, and every
+// fetch must still work.
+func TestPageHelloFallbackV2Server(t *testing.T) {
+	// wg.Wait must run after ln.Close (LIFO defers): the accept goroutine
+	// only exits once the listener dies.
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// Test-server teardown; accept-loop exit is the observable effect.
+		_ = ln.Close()
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(c net.Conn) {
+				defer wg.Done()
+				// Serving goroutine owns the conn for its whole life.
+				defer func() { _ = c.Close() }()
+				for {
+					req, err := readPageRequest(c)
+					if err != nil {
+						return
+					}
+					// A v2 server has no notion of the hello: the magic
+					// address is just another page to serve.
+					if err := writePageResponse(c, req.ID, pagePattern(req.Addr)); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	c, err := DialPageServerOpts(ln.Addr().String(), PageClientOpts{
+		Conns: 1, Codec: imgproto.CodecFlate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 8
+	for i := 0; i < n; i++ {
+		addr := uint64(i) * mem.PageSize
+		page, err := c.FetchPage(addr)
+		if err != nil {
+			t.Fatalf("page 0x%x after fallback: %v", addr, err)
+		}
+		checkPage(t, addr, page)
+	}
+	st := c.Stats()
+	if st.HelloFallbacks != 1 {
+		t.Errorf("HelloFallbacks = %d, want 1", st.HelloFallbacks)
+	}
+	if st.Batches != 0 {
+		t.Errorf("Batches = %d on a raw-framing connection, want 0", st.Batches)
+	}
+	if st.Fetches != n {
+		t.Errorf("Fetches = %d, want %d", st.Fetches, n)
+	}
+}
+
+// TestPageBatchDesyncRecovery (satellite: batch-frame desync) serves a
+// corrupt batch frame — bad codec byte — on the first connection. The
+// client must drop that connection, count the desync, redial, and complete
+// the fetch on the replacement.
+func TestPageBatchDesyncRecovery(t *testing.T) {
+	// wg.Wait must run after ln.Close (LIFO defers): the accept goroutine
+	// only exits once the listener dies.
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// Test-server teardown; accept-loop exit is the observable effect.
+		_ = ln.Close()
+	}()
+	var mu sync.Mutex
+	connNo := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			connNo++
+			corrupt := connNo == 1
+			mu.Unlock()
+			wg.Add(1)
+			go func(c net.Conn, corrupt bool) {
+				defer wg.Done()
+				// Serving goroutine owns the conn for its whole life.
+				defer func() { _ = c.Close() }()
+				req, err := readPageRequest(c)
+				if err != nil || !isHelloRequest(req) {
+					return
+				}
+				if err := writeHelloAck(c, imgproto.CodecNone); err != nil {
+					return
+				}
+				for {
+					req, err := readPageRequest(c)
+					if err != nil {
+						return
+					}
+					raw, count := batchOf(encodePageResponse(req.ID, pagePattern(req.Addr)))
+					var buf bytes.Buffer
+					if _, _, err := writePageBatch(&buf, imgproto.CodecNone, count, raw); err != nil {
+						return
+					}
+					frame := buf.Bytes()
+					if corrupt {
+						frame[1] = 0x7F // codec byte no decoder exists for
+					}
+					if _, err := c.Write(frame); err != nil {
+						return
+					}
+				}
+			}(conn, corrupt)
+		}
+	}()
+
+	c, err := DialPageServerOpts(ln.Addr().String(), PageClientOpts{
+		Conns: 1, Codec: imgproto.CodecFlate,
+		MaxRetries: 4, RetryBackoff: time.Millisecond, FetchTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr := uint64(5) * mem.PageSize
+	page, err := c.FetchPage(addr)
+	if err != nil {
+		t.Fatalf("fetch never recovered from batch desync: %v", err)
+	}
+	checkPage(t, addr, page)
+	st := c.Stats()
+	if st.BatchDesyncs == 0 {
+		t.Error("corrupt batch frame was not counted as a desync")
+	}
+	if st.Reconnects == 0 {
+		t.Error("client recovered without redialing — desync conn was reused")
+	}
+	if st.Batches == 0 {
+		t.Error("replacement connection never delivered a well-formed batch")
+	}
+}

@@ -1,6 +1,7 @@
 package criu
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/dapper-sim/dapper/internal/imgproto"
 	"github.com/dapper-sim/dapper/internal/mem"
 	"github.com/dapper-sim/dapper/internal/obs"
 	"github.com/dapper-sim/dapper/internal/parallel"
@@ -45,8 +47,15 @@ type PageClientOpts struct {
 	// demand-fetched with retries if actually faulted — so a large
 	// Prefetch can never spawn an unbounded goroutine fan-out.
 	PrefetchWorkers int
-	// DialTimeout bounds one (re)connection attempt (default 1s).
+	// DialTimeout bounds one (re)connection attempt (default 1s),
+	// including the batch-codec hello when Codec asks for one.
 	DialTimeout time.Duration
+	// Codec requests batched (optionally compressed) response framing
+	// from the server (default CodecRaw = legacy v2 frames, no hello).
+	// Negotiated per connection at dial time; a v2 server answers the
+	// hello like an ordinary page request and the connection silently
+	// falls back to raw framing, counted in pageclient.hello_fallback.
+	Codec imgproto.Codec
 	// Dial overrides the dialer; tests inject faulty transports here.
 	Dial func(addr string) (net.Conn, error)
 	// Obs, if set, is the telemetry registry the client records into
@@ -102,6 +111,13 @@ type PageClientStats struct {
 	// of prefetch requests ever in flight at once (always <= the bound).
 	PrefetchSkipped uint64
 	PrefetchPeak    uint64
+	// Batches counts batch frames received in v3 mode; HelloFallbacks
+	// counts connections that asked for a batch codec but fell back to
+	// raw framing against a v2 server; BatchDesyncs counts connections
+	// dropped because a batch frame violated its own framing.
+	Batches        uint64
+	HelloFallbacks uint64
+	BatchDesyncs   uint64
 }
 
 // ErrPageClientClosed is returned by FetchPage after Close.
@@ -142,6 +158,9 @@ type RemotePageSource struct {
 	prefSkips  *obs.Counter
 	prefActive atomic.Int64
 	prefPeak   atomic.Int64
+
+	// v3 batch-mode counters.
+	batchesC, helloFallback, batchDesync *obs.Counter
 }
 
 // DialPageServer connects to a page server with default options.
@@ -172,6 +191,9 @@ func DialPageServerOpts(addr string, opts PageClientOpts) (*RemotePageSource, er
 	c.prefDone = reg.Counter("pageclient.prefetched")
 	c.prefHits = reg.Counter("pageclient.prefetch_hits")
 	c.prefSkips = reg.Counter("pageclient.prefetch_skipped")
+	c.batchesC = reg.Counter("pageclient.batches")
+	c.helloFallback = reg.Counter("pageclient.hello_fallback")
+	c.batchDesync = reg.Counter("pageclient.batch_desync")
 	c.faultLat = reg.Histogram("pageclient.fault_ns")
 	c.prefSem = parallel.NewSemaphore(c.opts.PrefetchWorkers)
 	c.conns = make([]*pageConn, c.opts.Conns)
@@ -187,17 +209,20 @@ func DialPageServerOpts(addr string, opts PageClientOpts) (*RemotePageSource, er
 // Stats returns a snapshot of the client counters.
 func (c *RemotePageSource) Stats() PageClientStats {
 	return PageClientStats{
-		Fetches:        c.fetches.Value(),
-		Retries:        c.retries.Value(),
-		Reconnects:     c.reconnects.Value(),
-		Timeouts:       c.timeouts.Value(),
-		RemoteErrors:   c.remoteErrs.Value(),
-		BytesRead:      c.bytes.Value(),
+		Fetches:         c.fetches.Value(),
+		Retries:         c.retries.Value(),
+		Reconnects:      c.reconnects.Value(),
+		Timeouts:        c.timeouts.Value(),
+		RemoteErrors:    c.remoteErrs.Value(),
+		BytesRead:       c.bytes.Value(),
 		PrefetchIssued:  c.prefIssued.Value(),
 		Prefetched:      c.prefDone.Value(),
 		PrefetchHits:    c.prefHits.Value(),
 		PrefetchSkipped: c.prefSkips.Value(),
 		PrefetchPeak:    uint64(c.prefPeak.Load()),
+		Batches:         c.batchesC.Value(),
+		HelloFallbacks:  c.helloFallback.Value(),
+		BatchDesyncs:    c.batchDesync.Value(),
 	}
 }
 
@@ -406,6 +431,12 @@ type pageResult struct {
 // fresh map so a stale reader cannot touch requests issued after a redial.
 type connState struct {
 	conn net.Conn
+	// br buffers the response stream; all reads go through it (a read
+	// from conn directly would lose whatever it has buffered). codec is
+	// the framing negotiated for this incarnation: raw v2 frames, or
+	// batch frames when Batched().
+	br    *bufio.Reader
+	codec imgproto.Codec
 
 	mu      sync.Mutex
 	pending map[uint32]pendingFetch
@@ -432,11 +463,29 @@ func (pc *pageConn) state() (*connState, error) {
 	if err != nil {
 		return nil, err
 	}
+	codec := imgproto.CodecRaw
+	if want := pc.client.opts.Codec; want.Batched() {
+		// The hello is synchronous — before the read loop exists — so the
+		// reply frame is unambiguously ours.
+		codec, err = negotiatePageBatch(conn, want, pc.client.opts.DialTimeout)
+		if err != nil {
+			// The exchange died mid-frame, leaving the stream position
+			// unknown; the conn is unusable either way.
+			_ = conn.Close()
+			return nil, err
+		}
+		if !codec.Batched() {
+			pc.client.helloFallback.Inc()
+		}
+	}
 	if pc.everAlive {
 		pc.client.reconnects.Inc()
 	}
 	pc.everAlive = true
-	cs := &connState{conn: conn, pending: make(map[uint32]pendingFetch)}
+	cs := &connState{
+		conn: conn, br: bufio.NewReader(conn), codec: codec,
+		pending: make(map[uint32]pendingFetch),
+	}
 	pc.cur = cs
 	//lint:ignore goreap readLoop exits when its conn closes: drop() (called by Close and on any transport error) closes the conn, which unblocks the read
 	go pc.readLoop(cs)
@@ -471,28 +520,51 @@ func (pc *pageConn) drop(cs *connState, err error) {
 
 func (pc *pageConn) readLoop(cs *connState) {
 	for {
-		resp, err := readPageResponse(cs.conn)
+		if cs.codec.Batched() {
+			resps, err := readPageBatch(cs.br)
+			if err != nil {
+				if errors.Is(err, errBatchDesync) {
+					// A corrupt frame, not a closed conn: count it before
+					// dropping — the retry path redials transparently, so
+					// this counter is the only visible trace.
+					pc.client.batchDesync.Inc()
+				}
+				pc.drop(cs, err)
+				return
+			}
+			pc.client.batchesC.Inc()
+			for _, resp := range resps {
+				pc.dispatch(cs, resp)
+			}
+			continue
+		}
+		resp, err := readPageResponse(cs.br)
 		if err != nil {
 			pc.drop(cs, err)
 			return
 		}
-		cs.mu.Lock()
-		pf, ok := cs.pending[resp.ID]
-		delete(cs.pending, resp.ID)
-		cs.mu.Unlock()
-		if !ok {
-			// Response to a request that timed out client-side: the frame
-			// is still well-formed, so just discard it and keep the
-			// connection synchronized.
-			continue
-		}
-		if resp.Remote != "" {
-			pc.client.remoteErrs.Inc()
-			pf.ch <- pageResult{err: &RemoteFetchError{Addr: pf.addr, Msg: resp.Remote}}
-			continue
-		}
-		pf.ch <- pageResult{page: resp.Page}
+		pc.dispatch(cs, resp)
 	}
+}
+
+// dispatch routes one decoded response frame to the fetch that asked.
+func (pc *pageConn) dispatch(cs *connState, resp pageResponse) {
+	cs.mu.Lock()
+	pf, ok := cs.pending[resp.ID]
+	delete(cs.pending, resp.ID)
+	cs.mu.Unlock()
+	if !ok {
+		// Response to a request that timed out client-side: the frame
+		// is still well-formed, so just discard it and keep the
+		// connection synchronized.
+		return
+	}
+	if resp.Remote != "" {
+		pc.client.remoteErrs.Inc()
+		pf.ch <- pageResult{err: &RemoteFetchError{Addr: pf.addr, Msg: resp.Remote}}
+		return
+	}
+	pf.ch <- pageResult{page: resp.Page}
 }
 
 // roundTrip performs one fetch attempt on this pool slot with a deadline.

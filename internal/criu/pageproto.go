@@ -68,25 +68,12 @@ func readPageRequest(r io.Reader) (pageRequest, error) {
 }
 
 func writePageResponse(w io.Writer, id uint32, page []byte) error {
-	buf := make([]byte, 5+len(page))
-	binary.BigEndian.PutUint32(buf[0:4], id)
-	buf[4] = pageStatusOK
-	copy(buf[5:], page)
-	_, err := w.Write(buf)
+	_, err := w.Write(encodePageResponse(id, page))
 	return err
 }
 
 func writePageError(w io.Writer, id uint32, fetchErr error) error {
-	msg := fetchErr.Error()
-	if len(msg) > maxPageErrMsg {
-		msg = msg[:maxPageErrMsg]
-	}
-	buf := make([]byte, 7+len(msg))
-	binary.BigEndian.PutUint32(buf[0:4], id)
-	buf[4] = pageStatusErr
-	binary.BigEndian.PutUint16(buf[5:7], uint16(len(msg)))
-	copy(buf[7:], msg)
-	_, err := w.Write(buf)
+	_, err := w.Write(encodePageError(id, fetchErr))
 	return err
 }
 

@@ -1,11 +1,13 @@
 package criu
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"github.com/dapper-sim/dapper/internal/imgproto"
 	"github.com/dapper-sim/dapper/internal/obs"
 )
 
@@ -15,14 +17,26 @@ import (
 // may keep many in flight. A FetchPage failure is reported to the client as
 // an explicit error frame instead of dropping the connection, so one bad
 // page cannot desynchronize an otherwise healthy stream.
+//
+// A connection whose client negotiates the v3 hello (see pagebatch.go)
+// switches to batched responses: pipelined requests coalesce into one
+// batch frame per write, flushed when the request stream drains or the
+// batch limits fill, so a burst of prefetches costs one syscall and one
+// compression call instead of one write per page.
 type PageServer struct {
-	src PageSource
-	ln  net.Listener
+	src  PageSource
+	ln   net.Listener
+	opts PageServerOpts
 
 	// Serving counters live in an obs registry ("pageserver.*"); the
 	// service-latency histogram records every fetch, failed ones included.
 	reqs, bytesSent, errsC *obs.Counter
 	svcLat                 *obs.Histogram
+	// Batch-mode wire telemetry ("wire.*", shared names with the image
+	// transport): batches flushed, payload bytes before and after the
+	// codec, and time spent inside Compress.
+	batches, bytesRaw, bytesWire *obs.Counter
+	codecNs                      *obs.Histogram
 
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -31,6 +45,33 @@ type PageServer struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+}
+
+// PageServerOpts tunes batching; the zero value selects the defaults
+// noted on each field.
+type PageServerOpts struct {
+	// Obs, if set, receives the serving and wire telemetry. Nil gives the
+	// server a private registry so Stats keeps working.
+	Obs *obs.Registry
+	// BatchPages caps how many response frames coalesce into one batch
+	// before a flush is forced (default 32, max 65535 — the frame's count
+	// field is 16 bits).
+	BatchPages int
+	// BatchBytes caps a batch's raw payload size (default 256 KiB).
+	BatchBytes int
+}
+
+func (o PageServerOpts) withDefaults() PageServerOpts {
+	if o.BatchPages <= 0 {
+		o.BatchPages = defaultBatchPages
+	}
+	if o.BatchPages > maxBatchFrames {
+		o.BatchPages = maxBatchFrames
+	}
+	if o.BatchBytes <= 0 {
+		o.BatchBytes = defaultBatchBytes
+	}
+	return o
 }
 
 // ServePages starts a TCP page server on addr ("127.0.0.1:0" for tests).
@@ -46,22 +87,34 @@ func ServePages(addr string, src PageSource) (*PageServer, error) {
 // telemetry registry. Tests use this to interpose fault-injecting
 // listeners (see FlakyListener); the server takes ownership of ln.
 func ServePagesOn(ln net.Listener, src PageSource) *PageServer {
-	return ServePagesObs(ln, src, nil)
+	return ServePagesOpts(ln, src, PageServerOpts{})
 }
 
 // ServePagesObs starts a page server on an existing listener, recording
 // into reg ("pageserver.*" counters and the service-latency histogram).
 // A nil reg gives the server a private registry so Stats keeps working.
 func ServePagesObs(ln net.Listener, src PageSource, reg *obs.Registry) *PageServer {
+	return ServePagesOpts(ln, src, PageServerOpts{Obs: reg})
+}
+
+// ServePagesOpts starts a page server on an existing listener with full
+// control over telemetry and batching; the server takes ownership of ln.
+func ServePagesOpts(ln net.Listener, src PageSource, opts PageServerOpts) *PageServer {
+	opts = opts.withDefaults()
+	reg := opts.Obs
 	if reg == nil {
 		reg = obs.New()
 	}
 	s := &PageServer{
-		src: src, ln: ln, conns: make(map[net.Conn]struct{}),
+		src: src, ln: ln, opts: opts, conns: make(map[net.Conn]struct{}),
 		reqs:      reg.Counter("pageserver.requests"),
 		bytesSent: reg.Counter("pageserver.bytes_sent"),
 		errsC:     reg.Counter("pageserver.errors"),
 		svcLat:    reg.Histogram("pageserver.service_ns"),
+		batches:   reg.Counter("wire.batches"),
+		bytesRaw:  reg.Counter("wire.bytes_raw"),
+		bytesWire: reg.Counter("wire.bytes_wire"),
+		codecNs:   reg.Histogram("wire.codec_ns"),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -141,28 +194,99 @@ func (s *PageServer) acceptLoop() {
 }
 
 func (s *PageServer) serveConn(conn net.Conn) {
+	// Buffering the request stream serves two purposes: fewer read
+	// syscalls under pipelining, and br.Buffered() doubles as the flush
+	// heuristic — a non-empty buffer means another request is already
+	// waiting, so batch mode can keep accumulating instead of flushing.
+	br := bufio.NewReaderSize(conn, 16*pageReqLen)
+	var bw *pageBatchWriter // nil until the client negotiates v3
 	for {
-		req, err := readPageRequest(conn)
+		req, err := readPageRequest(br)
 		if err != nil {
 			return
+		}
+		if isHelloRequest(req) {
+			// Flush anything queued under a previous negotiation, honor
+			// the requested codec if we can encode it, and switch.
+			if bw != nil && s.flushBatch(conn, bw) != nil {
+				return
+			}
+			codec := imgproto.Codec(req.Addr &^ pageHelloAddrMask)
+			if !codec.Batched() {
+				codec = imgproto.CodecNone
+			}
+			if writeHelloAck(conn, codec) != nil {
+				return
+			}
+			bw = &pageBatchWriter{
+				codec: codec, maxFrames: s.opts.BatchPages, maxBytes: s.opts.BatchBytes,
+			}
+			continue
 		}
 		start := time.Now()
 		page, ferr := s.src.FetchPage(req.Addr)
 		s.svcLat.Observe(time.Since(start))
 		s.reqs.Inc()
+		var frame []byte
 		if ferr != nil {
 			s.errsC.Inc()
+			frame = encodePageError(req.ID, ferr)
 		} else {
 			s.bytesSent.Add(uint64(len(page)))
+			frame = encodePageResponse(req.ID, page)
 		}
-		if ferr != nil {
-			if err := writePageError(conn, req.ID, ferr); err != nil {
+		if bw == nil {
+			if _, err := conn.Write(frame); err != nil {
 				return
 			}
 			continue
 		}
-		if err := writePageResponse(conn, req.ID, page); err != nil {
-			return
+		bw.add(frame)
+		// Flush when the batch is full, or when the request stream has
+		// drained — holding frames while the client has nothing else in
+		// flight would deadlock the fetch against its own batch.
+		if bw.full() || br.Buffered() < pageReqLen {
+			if s.flushBatch(conn, bw) != nil {
+				return
+			}
 		}
 	}
+}
+
+// pageBatchWriter accumulates encoded response frames for one batch.
+type pageBatchWriter struct {
+	codec     imgproto.Codec
+	raw       []byte
+	count     int
+	maxFrames int
+	maxBytes  int
+}
+
+func (b *pageBatchWriter) add(frame []byte) {
+	b.raw = append(b.raw, frame...)
+	b.count++
+}
+
+func (b *pageBatchWriter) full() bool {
+	return b.count >= b.maxFrames || len(b.raw) >= b.maxBytes
+}
+
+// flushBatch writes the accumulated batch as one frame and records the
+// wire telemetry. A no-op when the batch is empty.
+func (s *PageServer) flushBatch(conn net.Conn, bw *pageBatchWriter) error {
+	if bw.count == 0 {
+		return nil
+	}
+	start := time.Now()
+	rawN, wireN, err := writePageBatch(conn, bw.codec, bw.count, bw.raw)
+	s.codecNs.Observe(time.Since(start))
+	if err != nil {
+		return err
+	}
+	s.batches.Inc()
+	s.bytesRaw.Add(uint64(rawN))
+	s.bytesWire.Add(uint64(wireN))
+	bw.raw = bw.raw[:0]
+	bw.count = 0
+	return nil
 }

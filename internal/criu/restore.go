@@ -114,6 +114,9 @@ func Restore(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider) (*kernel.
 	if len(ps.ParentPages) > 0 {
 		return nil, fmt.Errorf("criu: image has %d unresolved in_parent pages; flatten the chain (FlattenChain) before restore", len(ps.ParentPages))
 	}
+	if len(ps.DeltaPages) > 0 {
+		return nil, fmt.Errorf("criu: image has %d unresolved XOR-delta pages; flatten the chain (FlattenChain) before restore", len(ps.DeltaPages))
+	}
 	for addr, pg := range ps.Pages {
 		as.InstallPage(addr/mem.PageSize, pg)
 	}

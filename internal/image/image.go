@@ -172,7 +172,12 @@ func UnmarshalMM(b []byte) (*MMImage, error) {
 // byte-identical to the data page at DedupSrc + i*PageSize earlier in
 // the SAME pagemap — the reference must point strictly backwards, so a
 // single forward pass resolves it and cycles are impossible by
-// construction.
+// construction. Delta entries (pre-copy XOR encoding) DO carry bytes in
+// pages.img, but the bytes are the XOR of the page's content with its
+// content at the parent checkpoint: a re-dirtied page whose bytes barely
+// changed encodes as mostly zeros, which the wire codec compresses away.
+// Resolving a delta page therefore needs the parent chain, like
+// in_parent but with local bytes.
 type PagemapEntry struct {
 	Vaddr    uint64 `json:"vaddr"`
 	NrPages  uint32 `json:"nrPages"`
@@ -183,6 +188,9 @@ type PagemapEntry struct {
 	// DedupSrc is the page-aligned vaddr of the data page holding this
 	// run's bytes; meaningful only when Dedup is set.
 	DedupSrc uint64 `json:"dedupSrc,omitempty"`
+	// Delta marks the run's pages.img bytes as XORed against the same
+	// page's content in the parent chain (incremental dumps only).
+	Delta bool `json:"delta,omitempty"`
 }
 
 // PagemapImage is pagemap.img: the index into pages.img.
@@ -211,6 +219,11 @@ func (p *PagemapImage) Marshal() []byte {
 			}
 			if en.DedupSrc != 0 {
 				n.Fixed64(7, en.DedupSrc)
+			}
+			// Field 8 likewise appears only on delta runs, so non-delta
+			// images keep the historical byte-identical encoding.
+			if en.Delta {
+				n.Bool(8, true)
 			}
 		})
 	}
@@ -254,6 +267,10 @@ func UnmarshalPagemap(b []byte) (*PagemapImage, error) {
 			case 7:
 				u, err := nd.FieldUint64()
 				en.DedupSrc = u
+				return err
+			case 8:
+				v, err := nd.FieldBool()
+				en.Delta = v
 				return err
 			}
 			return nil
@@ -481,6 +498,10 @@ type PageSet struct {
 	ParentPages map[uint64]bool
 	// ZeroPages records all-zero pages carried by the pagemap alone.
 	ZeroPages map[uint64]bool
+	// DeltaPages marks addresses whose Pages entry holds XOR-delta bytes
+	// (against the parent chain) rather than plain content. Resolve with
+	// FlattenChain before restoring or rewriting.
+	DeltaPages map[uint64]bool
 }
 
 // Page classes for the pagemap run coalescer.
@@ -490,12 +511,16 @@ const (
 	pageParent
 	pageLazy
 	pageDedup
+	pageDelta
 )
 
 // classOf reports how the page at a is represented. Data beats the flag
 // maps; a nil entry in Pages keeps its historical "lazy" meaning.
 func (ps *PageSet) classOf(a uint64) int {
 	if pg, ok := ps.Pages[a]; ok && pg != nil {
+		if ps.DeltaPages[a] {
+			return pageDelta
+		}
 		return pageData
 	}
 	switch {
@@ -554,6 +579,9 @@ func LoadPageSet(dir *ImageDir) (*PageSet, error) {
 			pg := make([]byte, mem.PageSize)
 			copy(pg, pages[off:off+mem.PageSize])
 			ps.Pages[addr] = pg
+			if en.Delta {
+				ps.DeltaPages[addr] = true
+			}
 			off += mem.PageSize
 		}
 	}
@@ -567,6 +595,7 @@ func NewPageSet() *PageSet {
 		LazyPages:   make(map[uint64]bool),
 		ParentPages: make(map[uint64]bool),
 		ZeroPages:   make(map[uint64]bool),
+		DeltaPages:  make(map[uint64]bool),
 	}
 }
 
@@ -685,7 +714,7 @@ func (ps *PageSet) StoreWith(dir *ImageDir, opts StoreOpts) StoreStats {
 		}
 		j := i
 		for j < len(addrs) && addrs[j] == a+uint64(j-i)*mem.PageSize && classOf(addrs[j]) == cls {
-			if cls == pageData {
+			if cls == pageData || cls == pageDelta {
 				blob = append(blob, ps.Pages[addrs[j]]...)
 			}
 			j++
@@ -693,6 +722,7 @@ func (ps *PageSet) StoreWith(dir *ImageDir, opts StoreOpts) StoreStats {
 		pm.Entries = append(pm.Entries, PagemapEntry{
 			Vaddr: a, NrPages: uint32(j - i),
 			Lazy: cls == pageLazy, InParent: cls == pageParent, Zero: cls == pageZero,
+			Delta: cls == pageDelta,
 		})
 		i = j
 	}
@@ -719,6 +749,9 @@ func (ps *PageSet) ReadU64(addr uint64) (uint64, error) {
 		}
 		return 0, fmt.Errorf("image: address 0x%x not in dumped pages", addr)
 	}
+	if ps.DeltaPages[base] {
+		return 0, fmt.Errorf("image: address 0x%x holds an XOR delta against the parent (flatten the chain first)", addr)
+	}
 	var v uint64
 	for i := 7; i >= 0; i-- {
 		v = v<<8 | uint64(pg[off+uint64(i)])
@@ -741,6 +774,8 @@ func (ps *PageSet) WriteU64(addr, v uint64) error {
 		ps.Pages[base] = pg
 		delete(ps.LazyPages, base)
 		delete(ps.ZeroPages, base)
+	} else if ps.DeltaPages[base] {
+		return fmt.Errorf("image: write at 0x%x hits an XOR-delta page (flatten the chain first)", addr)
 	}
 	off := addr % mem.PageSize
 	if off+8 > mem.PageSize {
@@ -774,6 +809,11 @@ func (ps *PageSet) DropRange(start, end uint64) {
 			delete(ps.ZeroPages, a)
 		}
 	}
+	for a := range ps.DeltaPages {
+		if a >= start && a < end {
+			delete(ps.DeltaPages, a)
+		}
+	}
 }
 
 // ExtractRange returns a PageSet view of [start, end): every page entry
@@ -798,6 +838,9 @@ func (ps *PageSet) ExtractRange(start, end uint64) *PageSet {
 		}
 		if ps.ZeroPages[a] {
 			sub.ZeroPages[a] = true
+		}
+		if ps.DeltaPages[a] {
+			sub.DeltaPages[a] = true
 		}
 	}
 	return sub
@@ -829,6 +872,11 @@ func (ps *PageSet) AbsorbRange(sub *PageSet, start, end uint64) {
 			ps.ZeroPages[a] = true
 		}
 	}
+	for a := range sub.DeltaPages {
+		if a >= start && a < end {
+			ps.DeltaPages[a] = true
+		}
+	}
 }
 
 // InstallPage sets a page's full contents.
@@ -840,4 +888,20 @@ func (ps *PageSet) InstallPage(addr uint64, data []byte) {
 	delete(ps.LazyPages, base)
 	delete(ps.ParentPages, base)
 	delete(ps.ZeroPages, base)
+	delete(ps.DeltaPages, base)
+}
+
+// XorPages returns a ⊕ b over min(len(a), len(b)) bytes into a fresh
+// page-sized buffer — the delta encoder (page content vs parent content)
+// and its inverse are the same operation.
+func XorPages(a, b []byte) []byte {
+	out := make([]byte, mem.PageSize)
+	n := copy(out, a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		out[i] ^= b[i]
+	}
+	return out
 }

