@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check bench bench-json bench-obs bench-quick
+.PHONY: build vet lint test race check bench bench-json bench-obs bench-quick fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,19 @@ bench-quick:
 	$(GO) test -race -run=^$$ -bench='DumpParallel|RewriteThreads|ImgcheckVerify' -benchtime=1x .
 	$(GO) run ./cmd/dapper-bench -jsonout BENCH_parpipe.json parpipe
 	$(GO) run ./cmd/dapper-bench -jsonout BENCH_wirecodec.json wirecodec
+	$(GO) run ./cmd/dapper-bench -jsonout BENCH_fleet.json fleet
+
+# fleet-smoke gates the control plane: the fleet package's deterministic
+# fault-injection tests (retry, rollback, journal resume, drain,
+# heartbeat mark-down) and the shared-node concurrency tests under the
+# race detector, then the fleet throughput table — migs/sec and retry
+# rate at fleet-wide concurrency 1/4/8 — which itself hard-fails if any
+# job fails, any restored output is corrupt, or the retry path never
+# fires.
+fleet-smoke:
+	$(GO) test -race ./internal/fleet/
+	$(GO) test -race -run TestConcurrent ./internal/cluster/
+	$(GO) run ./cmd/dapper-bench -jsonout BENCH_fleet.json fleet
 
 # bench-obs measures the telemetry fast paths: the Disabled* benchmarks
 # are the nil-registry no-ops every migration pays even with telemetry

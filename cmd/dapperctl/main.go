@@ -15,16 +15,40 @@
 //	dapperctl restore ckpt.imgdir prog.sx86.delf [prog.sarm.delf]
 //	    Restore an image directory (binaries resolve the files image).
 //
-//	dapperctl migrate -at 0.5 [-lazy] [-shuffle] prog.sx86.delf prog.sarm.delf
-//	    Full live migration x86 -> arm with the phase breakdown.
+//	dapperctl migrate -at 0.5 [-lazy|-precopy] [-shuffle] [-codec raw|none|flate] [-delta] prog.sx86.delf prog.sarm.delf
+//	    Full live migration x86 -> arm with the phase breakdown. -codec
+//	    selects the wire codec (raw keeps the legacy framing, none
+//	    batches, flate batches and compresses); -delta XOR-delta-encodes
+//	    re-dirtied pre-copy pages and requires -precopy.
 //
-//	dapperctl stats -at 0.5 [-lazy|-precopy] [-json] prog.sx86.delf prog.sarm.delf
+//	dapperctl stats -at 0.5 [-lazy|-precopy] [-codec raw|none|flate] [-delta] [-json] prog.sx86.delf prog.sarm.delf
 //	    Run a migration with telemetry attached and print the full obs
 //	    report: counters, latency histograms, and the phase span tree
 //	    (see docs/observability.md). -json emits machine-readable output.
+//	    The -codec/-delta knobs match migrate, so their wire effects
+//	    ("proto.bytes_saved", delta counters) land in the report.
+//
+// Fleet subcommands (clients of the dapperd control plane; see
+// docs/fleet.md — start the daemon first):
+//
+//	dapperctl submit -socket dapperd.sock -program cg [-lazy|-precopy] [-codec C] [-delta] [-dedup] [-workers N] [-at F] [-target sx86|sarm] [-retries N]
+//	    Queue a migration job; prints the job id.
+//
+//	dapperctl jobs -socket dapperd.sock [-json]
+//	    List every job the daemon knows with state and attempt counts.
+//
+//	dapperctl status -socket dapperd.sock [-json] [-full]
+//	    Fleet summary: per-node utilization and queue depths. -full
+//	    prints the whole report including migration latency percentiles
+//	    and the obs payload.
+//
+//	dapperctl drain-node -socket dapperd.sock [-undrain] NODE
+//	    Stop placing new migrations on NODE (in-flight ones finish);
+//	    -undrain reverses it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,10 +57,12 @@ import (
 	"github.com/dapper-sim/dapper/internal/cluster"
 	"github.com/dapper-sim/dapper/internal/compiler"
 	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/fleet"
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/monitor"
 	"github.com/dapper-sim/dapper/internal/obs"
+	"github.com/dapper-sim/dapper/internal/workloads"
 )
 
 func main() {
@@ -48,7 +74,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: dapperctl run|checkpoint|restore|migrate ...")
+		return fmt.Errorf("usage: dapperctl run|checkpoint|restore|migrate|stats|submit|jobs|status|drain-node ...")
 	}
 	switch args[0] {
 	case "run":
@@ -61,6 +87,14 @@ func run(args []string) error {
 		return cmdMigrate(args[1:])
 	case "stats":
 		return cmdStats(args[1:])
+	case "submit":
+		return cmdSubmit(args[1:])
+	case "jobs":
+		return cmdJobs(args[1:])
+	case "status":
+		return cmdStatus(args[1:])
+	case "drain-node":
+		return cmdDrain(args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
@@ -225,12 +259,25 @@ func cmdMigrate(args []string) error {
 	fs := flag.NewFlagSet("migrate", flag.ContinueOnError)
 	at := fs.Float64("at", 0.5, "migration position as a fraction of total cycles")
 	lazy := fs.Bool("lazy", false, "post-copy migration")
+	precopy := fs.Bool("precopy", false, "iterative pre-copy migration")
 	shuffle := fs.Bool("shuffle", false, "also re-randomize the stack layout during the rewrite")
+	codec := fs.String("codec", "raw", "wire codec: raw (legacy framing), none (batched), flate (batched+compressed)")
+	delta := fs.Bool("delta", false, "XOR-delta encode re-dirtied pre-copy pages (requires -precopy)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: dapperctl migrate [-at F] [-lazy] src.delf dst.delf")
+		return fmt.Errorf("usage: dapperctl migrate [-at F] [-lazy|-precopy] [-codec C] [-delta] src.delf dst.delf")
+	}
+	if *lazy && *precopy {
+		return fmt.Errorf("-lazy and -precopy are mutually exclusive")
+	}
+	if *delta && !*precopy {
+		return fmt.Errorf("-delta requires -precopy (delta encoding applies to pre-copy rounds)")
+	}
+	wireCodec, err := fleet.ParseCodec(*codec)
+	if err != nil {
+		return err
 	}
 	srcNode, p, srcBin, err := startAndRunTo(fs.Arg(0), *at)
 	if err != nil {
@@ -245,9 +292,14 @@ func cmdMigrate(args []string) error {
 	srcNode.Binaries[exePathOf(fs.Arg(1), dstBin.Arch)] = dstBin
 	dstNode.Binaries[exePathOf(fs.Arg(0), srcBin.Arch)] = srcBin
 	dstNode.Binaries[exePathOf(fs.Arg(1), dstBin.Arch)] = dstBin
-	res, err := cluster.Migrate(srcNode, dstNode, p, srcBin.Meta, cluster.MigrateOpts{
+	opts := cluster.MigrateOpts{
 		Lazy: *lazy, Shuffle: *shuffle, ShuffleSeed: 1,
-	})
+		Codec: wireCodec, Delta: *delta,
+	}
+	if *precopy {
+		opts.PreCopy = &cluster.PreCopyOpts{}
+	}
+	res, err := cluster.Migrate(srcNode, dstNode, p, srcBin.Meta, opts)
 	if err != nil {
 		return err
 	}
@@ -261,8 +313,8 @@ func cmdMigrate(args []string) error {
 	}
 	bd := res.Breakdown
 	fmt.Printf("output: %s", out1+proc.ConsoleString())
-	fmt.Printf("breakdown: checkpoint=%v recode=%v copy=%v restore=%v total=%v images=%dB\n",
-		bd.Checkpoint, bd.Recode, bd.Copy, bd.Restore, bd.Total(), bd.ImageBytes)
+	fmt.Printf("breakdown: checkpoint=%v recode=%v copy=%v restore=%v total=%v images=%dB wire=%dB\n",
+		bd.Checkpoint, bd.Recode, bd.Copy, bd.Restore, bd.Total(), bd.ImageBytes, bd.WireBytes)
 	return nil
 }
 
@@ -273,15 +325,24 @@ func cmdStats(args []string) (err error) {
 	at := fs.Float64("at", 0.5, "migration position as a fraction of total cycles")
 	lazy := fs.Bool("lazy", false, "post-copy migration (over a real TCP page server)")
 	precopy := fs.Bool("precopy", false, "iterative pre-copy migration")
+	codec := fs.String("codec", "raw", "wire codec: raw (legacy framing), none (batched), flate (batched+compressed)")
+	delta := fs.Bool("delta", false, "XOR-delta encode re-dirtied pre-copy pages (requires -precopy)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: dapperctl stats [-at F] [-lazy|-precopy] [-json] src.delf dst.delf")
+		return fmt.Errorf("usage: dapperctl stats [-at F] [-lazy|-precopy] [-codec C] [-delta] [-json] src.delf dst.delf")
 	}
 	if *lazy && *precopy {
 		return fmt.Errorf("-lazy and -precopy are mutually exclusive")
+	}
+	if *delta && !*precopy {
+		return fmt.Errorf("-delta requires -precopy (delta encoding applies to pre-copy rounds)")
+	}
+	wireCodec, err := fleet.ParseCodec(*codec)
+	if err != nil {
+		return err
 	}
 	srcNode, p, srcBin, err := startAndRunTo(fs.Arg(0), *at)
 	if err != nil {
@@ -297,7 +358,10 @@ func cmdStats(args []string) (err error) {
 	dstNode.Binaries[exePathOf(fs.Arg(0), srcBin.Arch)] = srcBin
 	dstNode.Binaries[exePathOf(fs.Arg(1), dstBin.Arch)] = dstBin
 	reg := obs.New()
-	opts := cluster.MigrateOpts{Obs: reg, Lazy: *lazy, LazyTCP: *lazy}
+	opts := cluster.MigrateOpts{
+		Obs: reg, Lazy: *lazy, LazyTCP: *lazy,
+		Codec: wireCodec, Delta: *delta,
+	}
 	if *precopy {
 		opts.PreCopy = &cluster.PreCopyOpts{}
 	}
@@ -327,8 +391,184 @@ func cmdStats(args []string) (err error) {
 		return nil
 	}
 	bd := res.Breakdown
-	fmt.Printf("migration: downtime=%v total=%v rounds=%d images=%dB\n",
-		bd.Downtime, bd.MigrationTime(), bd.Rounds, bd.ImageBytes)
+	fmt.Printf("migration: downtime=%v total=%v rounds=%d images=%dB wire=%dB\n",
+		bd.Downtime, bd.MigrationTime(), bd.Rounds, bd.ImageBytes, bd.WireBytes)
 	fmt.Print(rep.Text())
+	return nil
+}
+
+// ---- fleet subcommands: thin clients of the dapperd control socket ----
+
+// fleetSocket adds the shared -socket flag.
+func fleetSocket(fs *flag.FlagSet) *string {
+	return fs.String("socket", "dapperd.sock", "dapperd control socket")
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	socket := fleetSocket(fs)
+	program := fs.String("program", "", "registered program to migrate (required)")
+	class := fs.String("class", "", "problem class override for registry workloads")
+	at := fs.Float64("at", 0.5, "migration position as a fraction of total cycles")
+	lazy := fs.Bool("lazy", false, "post-copy migration")
+	precopy := fs.Bool("precopy", false, "iterative pre-copy migration")
+	codec := fs.String("codec", "raw", "wire codec: raw, none, or flate")
+	delta := fs.Bool("delta", false, "XOR-delta pre-copy rounds (requires -precopy)")
+	dedup := fs.Bool("dedup", false, "content-addressed page dedup in the dump")
+	workers := fs.Int("workers", 0, "parallel pipeline workers (0 = NumCPU)")
+	src := fs.String("src", "", "pin the source node by name")
+	dst := fs.String("dst", "", "pin the destination node by name")
+	target := fs.String("target", "", "constrain destination ISA: sx86 or sarm")
+	retries := fs.Int("retries", 0, "retry budget (0 = default, negative = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 || *program == "" {
+		return fmt.Errorf("usage: dapperctl submit -program NAME [flags] (see dapperctl help)")
+	}
+	spec := fleet.JobSpec{
+		Program:    *program,
+		RunFrac:    *at,
+		SrcNode:    *src,
+		DstNode:    *dst,
+		TargetArch: *target,
+		MaxRetries: *retries,
+		Class:      workloads.Class(strings.ToUpper(*class)),
+		Opts: fleet.JobOpts{
+			Workers: *workers,
+			Dedup:   *dedup,
+			Codec:   *codec,
+			Delta:   *delta,
+			Lazy:    *lazy,
+			PreCopy: *precopy,
+		},
+	}
+	resp, err := fleet.Call(*socket, fleet.Request{Op: fleet.OpSubmit, Spec: &spec})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %d submitted\n", resp.JobID)
+	return nil
+}
+
+func cmdJobs(args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
+	socket := fleetSocket(fs)
+	jsonOut := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: dapperctl jobs [-socket S] [-json]")
+	}
+	resp, err := fleet.Call(*socket, fleet.Request{Op: fleet.OpJobs})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		data, err := json.MarshalIndent(resp.Jobs, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	if len(resp.Jobs) == 0 {
+		fmt.Println("no jobs")
+		return nil
+	}
+	for _, j := range resp.Jobs {
+		line := fmt.Sprintf("job %-4d %-10s %-8s mode=%-7s attempts=%d retries=%d",
+			j.ID, j.Program, j.State, j.Mode, j.Attempts, j.Retries)
+		if j.Src != "" {
+			line += fmt.Sprintf(" %s->%s", j.Src, j.Dst)
+		}
+		if j.State == "done" {
+			line += fmt.Sprintf(" migration=%v downtime=%v", j.Migration, j.Downtime)
+		}
+		if j.Err != "" {
+			line += " err=" + j.Err
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	socket := fleetSocket(fs)
+	jsonOut := fs.Bool("json", false, "emit JSON")
+	full := fs.Bool("full", false, "full report including latency percentiles and obs payload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: dapperctl status [-socket S] [-json] [-full]")
+	}
+	if *full {
+		resp, err := fleet.Call(*socket, fleet.Request{Op: fleet.OpReport})
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			data, err := resp.Report.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+			return nil
+		}
+		fmt.Print(resp.Report.Text())
+		return nil
+	}
+	resp, err := fleet.Call(*socket, fleet.Request{Op: fleet.OpStatus})
+	if err != nil {
+		return err
+	}
+	st := resp.Status
+	if *jsonOut {
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Printf("fleet: policy=%s jobs %d submitted / %d done / %d failed / %d pending / %d running retries=%d rollbacks=%d\n",
+		st.Policy, st.Submitted, st.Done, st.Failed, st.Pending, st.Running, st.Retries, st.Rollbacks)
+	for _, n := range st.Nodes {
+		status := ""
+		if n.Drained {
+			status += " DRAINED"
+		}
+		if n.Down {
+			status += " DOWN"
+		}
+		fmt.Printf("node %-10s %s cap=%d running=%d peak=%d done=%d failed=%d util=%.2f%s\n",
+			n.Name, n.Arch, n.Capacity, n.Running, n.HighWater, n.Done, n.Failed, n.Utilization, status)
+	}
+	return nil
+}
+
+func cmdDrain(args []string) error {
+	fs := flag.NewFlagSet("drain-node", flag.ContinueOnError)
+	socket := fleetSocket(fs)
+	undrain := fs.Bool("undrain", false, "re-enable placement on the node")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dapperctl drain-node [-socket S] [-undrain] NODE")
+	}
+	if _, err := fleet.Call(*socket, fleet.Request{
+		Op: fleet.OpDrain, Node: fs.Arg(0), Undrain: *undrain,
+	}); err != nil {
+		return err
+	}
+	if *undrain {
+		fmt.Printf("node %s undrained\n", fs.Arg(0))
+	} else {
+		fmt.Printf("node %s drained (in-flight migrations finish; no new placements)\n", fs.Arg(0))
+	}
 	return nil
 }

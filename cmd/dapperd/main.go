@@ -1,0 +1,164 @@
+// Command dapperd is the fleet-level migration control plane daemon: it
+// owns a set of simulated nodes (mixed SX86 Xeon-class and SARM Pi-class
+// machines), a journaled queue of migration jobs, a placement policy,
+// per-node concurrency bounds, node heartbeats, and the retry/rollback
+// machinery — everything in internal/fleet — and exposes it over a local
+// unix socket that dapperctl's submit/status/jobs/drain-node subcommands
+// speak to.
+//
+// Usage:
+//
+//	dapperd -socket dapperd.sock -journal dapperd.journal \
+//	        -xeons 2 -pis 2 -cap 2 -policy least-loaded \
+//	        -programs cg,mg -class S
+//
+// The journal makes the queue durable: killing the daemon mid-queue and
+// restarting it with the same -journal resumes the remaining jobs
+// without loss or duplication (programs re-register from the journal;
+// nodes come from the flags). See docs/fleet.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/dapper-sim/dapper/internal/cluster"
+	"github.com/dapper-sim/dapper/internal/fleet"
+	"github.com/dapper-sim/dapper/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dapperd:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed daemon configuration.
+type options struct {
+	socket   string
+	journal  string
+	xeons    int
+	pis      int
+	cap      int
+	policy   string
+	programs []string
+	class    workloads.Class
+	hbEvery  time.Duration
+	hbMissed int
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("dapperd", flag.ContinueOnError)
+	socket := fs.String("socket", "dapperd.sock", "unix socket path for the control API")
+	journalPath := fs.String("journal", "dapperd.journal", "append-only job journal (empty disables durability)")
+	xeons := fs.Int("xeons", 2, "number of SX86 Xeon-class nodes")
+	pis := fs.Int("pis", 2, "number of SARM Pi-class nodes")
+	capacity := fs.Int("cap", 2, "concurrent migration slots per node")
+	policy := fs.String("policy", "least-loaded", "placement policy: least-loaded, isa-affinity, or round-robin")
+	programs := fs.String("programs", "", "comma-separated workloads to pre-register (e.g. cg,mg,rediska)")
+	class := fs.String("class", "S", "problem class for pre-registered workloads")
+	hbEvery := fs.Duration("hb-interval", 50*time.Millisecond, "heartbeat probe interval")
+	hbMissed := fs.Int("hb-max-missed", 3, "consecutive missed heartbeats before a node is marked down")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() != 0 {
+		return options{}, fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	o := options{
+		socket:   *socket,
+		journal:  *journalPath,
+		xeons:    *xeons,
+		pis:      *pis,
+		cap:      *capacity,
+		policy:   *policy,
+		class:    workloads.Class(strings.ToUpper(*class)),
+		hbEvery:  *hbEvery,
+		hbMissed: *hbMissed,
+	}
+	if *programs != "" {
+		o.programs = strings.Split(*programs, ",")
+	}
+	if o.xeons+o.pis < 2 {
+		return options{}, fmt.Errorf("need at least two nodes to migrate between (-xeons %d -pis %d)", o.xeons, o.pis)
+	}
+	return o, nil
+}
+
+// buildManager assembles the fleet from parsed options: xeonN/piN nodes,
+// pre-registered programs, policy, journal.
+func buildManager(o options) (*fleet.Manager, error) {
+	m, err := fleet.NewManager(fleet.Config{
+		Journal: o.journal,
+		Policy:  o.policy,
+		Heartbeat: fleet.HeartbeatConfig{
+			Interval:  o.hbEvery,
+			MaxMissed: o.hbMissed,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < o.xeons; i++ {
+		if err := m.AddNode(fmt.Sprintf("xeon%d", i), cluster.XeonSpec, o.cap); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < o.pis; i++ {
+		if err := m.AddNode(fmt.Sprintf("pi%d", i), cluster.PiSpec, o.cap); err != nil {
+			return nil, err
+		}
+	}
+	for _, prog := range o.programs {
+		prog = strings.TrimSpace(prog)
+		if prog == "" {
+			continue
+		}
+		// Journal replay may have re-registered it already.
+		if err := m.RegisterWorkload(prog, o.class); err != nil && !strings.Contains(err.Error(), "duplicate program") {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	m, err := buildManager(o)
+	if err != nil {
+		return err
+	}
+	if err := m.Start(); err != nil {
+		return err
+	}
+	srv, err := fleet.Serve(m, o.socket)
+	if err != nil {
+		if serr := m.Stop(); serr != nil {
+			err = fmt.Errorf("%w (stop: %v)", err, serr)
+		}
+		return err
+	}
+	fmt.Printf("dapperd: %d nodes, policy %s, socket %s, journal %s\n",
+		o.xeons+o.pis, o.policy, o.socket, o.journal)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("dapperd: shutting down (in-flight attempts drain; pending jobs stay journaled)")
+	err = srv.Close()
+	if serr := m.Stop(); serr != nil && err == nil {
+		err = serr
+	}
+	rep := m.Report()
+	fmt.Print(rep.Text())
+	return err
+}

@@ -237,6 +237,7 @@ type MigrationResult struct {
 
 	srcKernel  *kernel.Kernel
 	srcProc    *kernel.Process
+	dstKernel  *kernel.Kernel
 	pageServer *criu.PageServer
 	pageClient *criu.RemotePageSource
 	closeOnce  sync.Once
@@ -250,6 +251,23 @@ type MigrationResult struct {
 // fault fails with a transport error (see kernel.IsLazyFaultError). Close
 // is idempotent; for non-lazy migrations it is a no-op.
 func (r *MigrationResult) Close() error {
+	return r.finish(true, false)
+}
+
+// Rollback abandons a migration whose restored process failed mid-flight
+// (typically a post-copy fetch that exhausted its retries, see
+// kernel.IsLazyFaultError): it tears down the page-transport plumbing like
+// Close and reaps the dead restored process on the destination, but —
+// unlike Close — leaves the paused source process alive. The caller can
+// then resume the source at its equivalence points (monitor.ResumeLocal)
+// and retry the migration later; the fleet control plane's
+// retry-with-backoff path is built on exactly this. Rollback and Close
+// share one idempotency guard: whichever runs first wins.
+func (r *MigrationResult) Rollback() error {
+	return r.finish(false, true)
+}
+
+func (r *MigrationResult) finish(reapSource, reapRestored bool) error {
 	r.closeOnce.Do(func() {
 		if r.pageClient != nil {
 			if err := r.pageClient.Close(); err != nil {
@@ -261,8 +279,11 @@ func (r *MigrationResult) Close() error {
 				r.closeErr = errors.Join(r.closeErr, fmt.Errorf("cluster: page server close: %w", err))
 			}
 		}
-		if r.srcKernel != nil && r.srcProc != nil {
+		if reapSource && r.srcKernel != nil && r.srcProc != nil {
 			r.srcKernel.Reap(r.srcProc)
+		}
+		if reapRestored && r.dstKernel != nil && r.Proc != nil {
+			r.dstKernel.Reap(r.Proc)
 		}
 	})
 	return r.closeErr
@@ -416,7 +437,7 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	reg.Counter("migrate.image_bytes").Add(bd.ImageBytes)
 	reg.Histogram("recode.host_ns").Observe(bd.RecodeHost)
 
-	res := &MigrationResult{Proc: p2, Breakdown: bd, srcKernel: src.K, srcProc: p}
+	res := &MigrationResult{Proc: p2, Breakdown: bd, srcKernel: src.K, srcProc: p, dstKernel: dst.K}
 	if !opts.Lazy {
 		// Nothing will ever fault back to the source: reap it now instead
 		// of leaking it SIGSTOPed forever. Its console stays readable.

@@ -1,0 +1,255 @@
+package cluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/cluster"
+	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/monitor"
+	"github.com/dapper-sim/dapper/internal/obs"
+)
+
+// The fleet control plane runs many cluster.Migrate calls against the
+// same pair of nodes at once (one kernel per node, one process per job).
+// These tests pin the thread-safety contract that makes that legal: the
+// kernel's process table is the only shared mutable state, migrations of
+// distinct processes do not interfere, and per-job obs registries stay
+// disjoint. Run with -race.
+
+const pagedSrc = `
+var data[4096] int;
+var acc int;
+func fill() {
+	var i int;
+	for i = 0; i < 4096; i = i + 1 {
+		data[i] = (i % 251) + 1;
+	}
+}
+func bump(i int) {
+	acc = acc + data[(i * 7) % 4096];
+}
+func main() {
+	var i int;
+	fill();
+	for i = 0; i < 5000; i = i + 1 {
+		bump(i);
+	}
+	printi(acc);
+}`
+
+// TestConcurrentMigrateSharedNodes runs eight migrations of distinct
+// processes through one shared source node and one shared destination
+// node concurrently. Every job must produce output identical to the
+// native run, identical image bytes (the dump embeds no PIDs, so
+// concurrent dumps of identical processes are byte-identical), and a
+// private obs registry whose counters reflect exactly one migration —
+// proof that per-job telemetry does not bleed across jobs.
+func TestConcurrentMigrateSharedNodes(t *testing.T) {
+	pair, err := compiler.Compile(pagedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Native reference: total cycles and output.
+	ref := cluster.NewNode(cluster.XeonSpec)
+	ref.Install("paged", pair)
+	refProc, err := ref.Start("paged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.K.Run(refProc); err != nil {
+		t.Fatal(err)
+	}
+	want := refProc.ConsoleString()
+	budget := refProc.VCycles * 2 / 5
+
+	// Serial migration reference for the image-size pin.
+	serialSrc := cluster.NewNode(cluster.XeonSpec)
+	serialDst := cluster.NewNode(cluster.PiSpec)
+	serialSrc.Install("paged", pair)
+	serialDst.Install("paged", pair)
+	sp, err := serialSrc.Start("paged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serialSrc.K.RunBudget(sp, budget); err != nil {
+		t.Fatal(err)
+	}
+	serialRes, err := cluster.Migrate(serialSrc, serialDst, sp, pair.Meta, cluster.MigrateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serialDst.K.Run(serialRes.Proc); err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.ConsoleString() + serialRes.Proc.ConsoleString(); got != want {
+		t.Fatalf("serial reference migration corrupt: %q != %q", got, want)
+	}
+	refImageBytes := serialRes.Breakdown.ImageBytes
+	if err := serialRes.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared nodes for all concurrent jobs.
+	src := cluster.NewNode(cluster.XeonSpec)
+	dst := cluster.NewNode(cluster.PiSpec)
+	src.Install("paged", pair)
+	dst.Install("paged", pair)
+
+	const jobs = 8
+	type result struct {
+		output     string
+		imageBytes uint64
+		reg        *obs.Registry
+		err        error
+	}
+	results := make([]result, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reg := obs.New()
+			run := func() error {
+				p, err := src.Start("paged")
+				if err != nil {
+					return fmt.Errorf("start: %w", err)
+				}
+				if _, err := src.K.RunBudget(p, budget); err != nil {
+					return fmt.Errorf("run to budget: %w", err)
+				}
+				res, err := cluster.Migrate(src, dst, p, pair.Meta, cluster.MigrateOpts{Obs: reg})
+				if err != nil {
+					return fmt.Errorf("migrate: %w", err)
+				}
+				if err := dst.K.Run(res.Proc); err != nil {
+					return fmt.Errorf("run restored: %w", err)
+				}
+				results[i].output = p.ConsoleString() + res.Proc.ConsoleString()
+				results[i].imageBytes = res.Breakdown.ImageBytes
+				return res.Close()
+			}
+			results[i].reg = reg
+			results[i].err = run()
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r.err != nil {
+			t.Errorf("job %d: %v", i, r.err)
+			continue
+		}
+		if r.output != want {
+			t.Errorf("job %d: output %q, want %q", i, r.output, want)
+		}
+		if r.imageBytes != refImageBytes {
+			t.Errorf("job %d: image bytes %d, want %d (concurrent dump diverged from serial)", i, r.imageBytes, refImageBytes)
+		}
+		// Non-interference: each registry saw exactly its own migration.
+		if got := r.reg.Counter("migrate.count").Value(); got != 1 {
+			t.Errorf("job %d: migrate.count = %d in a private registry", i, got)
+		}
+		if got := r.reg.Counter("dump.count").Value(); got != 1 {
+			t.Errorf("job %d: dump.count = %d in a private registry", i, got)
+		}
+		if got := r.reg.Counter("migrate.image_bytes").Value(); got != refImageBytes {
+			t.Errorf("job %d: migrate.image_bytes = %d, want %d", i, got, refImageBytes)
+		}
+		if i > 0 {
+			if a, b := r.reg.Counter("dump.pages_dumped").Value(), results[0].reg.Counter("dump.pages_dumped").Value(); a != b {
+				t.Errorf("job %d: dump.pages_dumped = %d, job 0 saw %d (registries interfered)", i, a, b)
+			}
+		}
+	}
+}
+
+// TestConcurrentPauseDumpByteIdentical pauses and dumps many identical
+// processes concurrently — all on one shared kernel — and requires every
+// image directory to marshal byte-for-byte equal to a serial reference
+// dump. This is the strongest possible statement that the dump pipeline
+// reads only its own process: any cross-process read under concurrency
+// would perturb at least one byte.
+func TestConcurrentPauseDumpByteIdentical(t *testing.T) {
+	pair, err := compiler.Compile(pagedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := cluster.NewNode(cluster.XeonSpec)
+	ref.Install("paged", pair)
+	refProc, err := ref.Start("paged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.K.Run(refProc); err != nil {
+		t.Fatal(err)
+	}
+	budget := refProc.VCycles * 2 / 5
+
+	// Serial reference dump on a private node.
+	serial := cluster.NewNode(cluster.XeonSpec)
+	serial.Install("paged", pair)
+	sp, err := serial.Start("paged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serial.K.RunBudget(sp, budget); err != nil {
+		t.Fatal(err)
+	}
+	if err := monitor.New(serial.K, sp, pair.Meta).Pause(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	refDir, err := criu.Dump(sp, criu.DumpOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes := refDir.Marshal()
+
+	// Concurrent pause+dump of distinct processes on one shared node.
+	shared := cluster.NewNode(cluster.XeonSpec)
+	shared.Install("paged", pair)
+	const jobs = 8
+	dumps := make([][]byte, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run := func() error {
+				p, err := shared.Start("paged")
+				if err != nil {
+					return err
+				}
+				if _, err := shared.K.RunBudget(p, budget); err != nil {
+					return err
+				}
+				if err := monitor.New(shared.K, p, pair.Meta).Pause(1 << 22); err != nil {
+					return err
+				}
+				dir, err := criu.Dump(p, criu.DumpOpts{})
+				if err != nil {
+					return err
+				}
+				dumps[i] = dir.Marshal()
+				shared.K.Reap(p)
+				return nil
+			}
+			errs[i] = run()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < jobs; i++ {
+		if errs[i] != nil {
+			t.Errorf("job %d: %v", i, errs[i])
+			continue
+		}
+		if !bytes.Equal(dumps[i], refBytes) {
+			t.Errorf("job %d: concurrent dump differs from the serial reference (%d vs %d bytes)", i, len(dumps[i]), len(refBytes))
+		}
+	}
+}

@@ -314,7 +314,7 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 	reg.Counter("precopy.chain_depth").Add(uint64(len(chain)))
 	reg.Histogram("recode.host_ns").Observe(bd.RecodeHost)
 
-	res := &MigrationResult{Proc: p2, Breakdown: bd, srcKernel: src.K, srcProc: p}
+	res := &MigrationResult{Proc: p2, Breakdown: bd, srcKernel: src.K, srcProc: p, dstKernel: dst.K}
 	// Everything lives on the destination now; nothing faults back.
 	src.K.Reap(p)
 	return res, nil

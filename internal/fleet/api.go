@@ -1,0 +1,73 @@
+package fleet
+
+// The daemon's control protocol: one newline-delimited JSON request and
+// one response per connection over a local (unix-domain) socket. The
+// protocol is deliberately minimal — dapperctl performs exactly one
+// operation per invocation, so connection reuse buys nothing, and
+// one-shot connections make the server's lifecycle trivial to reason
+// about (every accepted connection is served to completion and closed by
+// a joined goroutine).
+
+// Ops understood by the daemon.
+const (
+	OpPing   = "ping"
+	OpSubmit = "submit"
+	OpJobs   = "jobs"
+	OpJob    = "job"
+	OpStatus = "status"
+	OpDrain  = "drain"
+	OpReport = "report"
+)
+
+// Request is one client call.
+type Request struct {
+	Op string `json:"op"`
+	// Spec accompanies OpSubmit.
+	Spec *JobSpec `json:"spec,omitempty"`
+	// JobID accompanies OpJob.
+	JobID int `json:"job_id,omitempty"`
+	// Node and Undrain accompany OpDrain.
+	Node    string `json:"node,omitempty"`
+	Undrain bool   `json:"undrain,omitempty"`
+}
+
+// StatusView is the OpStatus summary: the fleet report without the full
+// obs payload.
+type StatusView struct {
+	Policy    string       `json:"policy"`
+	Nodes     []NodeReport `json:"nodes"`
+	Submitted uint64       `json:"jobs_submitted"`
+	Done      uint64       `json:"jobs_done"`
+	Failed    uint64       `json:"jobs_failed"`
+	Pending   int          `json:"jobs_pending"`
+	Running   int          `json:"jobs_running"`
+	Retries   uint64       `json:"retries"`
+	Rollbacks uint64       `json:"rollbacks"`
+}
+
+// Response is the daemon's answer.
+type Response struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+
+	JobID  int          `json:"job_id,omitempty"`
+	Job    *JobView     `json:"job,omitempty"`
+	Jobs   []JobView    `json:"jobs,omitempty"`
+	Status *StatusView  `json:"status,omitempty"`
+	Report *FleetReport `json:"report,omitempty"`
+}
+
+// status condenses a report into the OpStatus view.
+func statusOf(rep *FleetReport) *StatusView {
+	return &StatusView{
+		Policy:    rep.Policy,
+		Nodes:     rep.Nodes,
+		Submitted: rep.Submitted,
+		Done:      rep.Done,
+		Failed:    rep.FailedJ,
+		Pending:   rep.Pending,
+		Running:   rep.Running,
+		Retries:   rep.Retries,
+		Rollbacks: rep.Rollbacks,
+	}
+}

@@ -1,0 +1,38 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// Call performs one request against the daemon at socket and returns its
+// response. Protocol errors (the daemon answered with Err set) surface
+// as Go errors, so callers only handle the success shape.
+func Call(socket string, req Request) (*Response, error) {
+	conn, err := net.Dial("unix", socket)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: dial %s (is dapperd running?): %w", socket, err)
+	}
+	var resp Response
+	err = func() error {
+		if err := json.NewEncoder(conn).Encode(req); err != nil {
+			return fmt.Errorf("fleet: send request: %w", err)
+		}
+		if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+			return fmt.Errorf("fleet: read response: %w", err)
+		}
+		return nil
+	}()
+	if cerr := conn.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("fleet: close connection: %w", cerr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}

@@ -1,0 +1,69 @@
+package fleet
+
+import "time"
+
+// HeartbeatConfig tunes node health probing. Every Interval the manager
+// probes each node (a synchronous health check — the simulated analogue
+// of a heartbeat RPC); MaxMissed consecutive failures mark the node
+// down, taking it out of placement until a probe succeeds again.
+type HeartbeatConfig struct {
+	// Interval between probe rounds (default 50ms).
+	Interval time.Duration
+	// MaxMissed consecutive probe failures before mark-down (default 3).
+	MaxMissed int
+}
+
+func (c HeartbeatConfig) withDefaults() HeartbeatConfig {
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.MaxMissed <= 0 {
+		c.MaxMissed = 3
+	}
+	return c
+}
+
+// heartbeatLoop probes every node each interval until Stop.
+func (m *Manager) heartbeatLoop() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.cfg.Heartbeat.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			m.beat()
+		}
+	}
+}
+
+// beat runs one probe round. Transitions are edge-triggered: a node is
+// marked down after MaxMissed consecutive failures and marked back up on
+// the first success, each waking the scheduler (down frees nothing, but
+// up may unblock pending placements).
+func (m *Manager) beat() {
+	changed := false
+	for _, n := range m.Nodes() {
+		probe, _ := n.probe.Load().(func() error)
+		if probe == nil {
+			continue
+		}
+		if err := probe(); err != nil {
+			missed := n.missed.Add(1)
+			if int(missed) >= m.cfg.Heartbeat.MaxMissed && !n.down.Swap(true) {
+				m.reg.Counter("fleet.nodes_marked_down").Inc()
+				changed = true
+			}
+			continue
+		}
+		n.missed.Store(0)
+		if n.down.Swap(false) {
+			m.reg.Counter("fleet.nodes_marked_up").Inc()
+			changed = true
+		}
+	}
+	if changed {
+		m.kick()
+	}
+}

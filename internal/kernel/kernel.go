@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/mem"
@@ -139,6 +140,12 @@ type Kernel struct {
 	// Quantum is the scheduler time slice in instructions.
 	Quantum int
 
+	// procMu guards the process table (procs, nextPID) only. Scheduling a
+	// process (Step/Run) touches just that process's state, so distinct
+	// processes on one kernel may be driven from different goroutines —
+	// the property concurrent migrations against a shared node rely on —
+	// as long as table mutations (start, adopt, reap) are serialized.
+	procMu  sync.Mutex
 	nextPID int
 	procs   map[int]*Process
 }
@@ -193,6 +200,7 @@ func (k *Kernel) StartProcess(spec LoadSpec) (*Process, error) {
 		}
 	}
 	abi := isa.ABIFor(spec.Arch)
+	k.procMu.Lock()
 	p := &Process{
 		PID:        k.nextPID,
 		Arch:       spec.Arch,
@@ -208,6 +216,7 @@ func (k *Kernel) StartProcess(spec LoadSpec) (*Process, error) {
 	}
 	k.nextPID++
 	k.procs[p.PID] = p
+	k.procMu.Unlock()
 	if _, err := p.spawnThread(spec.Entry, 0, false); err != nil {
 		return nil, err
 	}
@@ -217,9 +226,11 @@ func (k *Kernel) StartProcess(spec LoadSpec) (*Process, error) {
 // AdoptProcess registers a process rebuilt by restore (its address space
 // and threads are already populated).
 func (k *Kernel) AdoptProcess(p *Process) {
+	k.procMu.Lock()
 	p.PID = k.nextPID
 	k.nextPID++
 	k.procs[p.PID] = p
+	k.procMu.Unlock()
 }
 
 // Reap terminates a process that has been migrated away: SIGSTOP is
@@ -233,7 +244,9 @@ func (k *Kernel) Reap(p *Process) {
 	for _, t := range p.Threads {
 		t.State = ThreadExited
 	}
+	k.procMu.Lock()
 	delete(k.procs, p.PID)
+	k.procMu.Unlock()
 }
 
 // IsLazyFaultError reports whether err was caused by a failed lazy page
