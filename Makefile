@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check bench bench-json bench-obs bench-quick fleet-smoke
+.PHONY: build vet lint test race check bench bench-json bench-obs bench-quick fleet-smoke registry-smoke
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,17 @@ fleet-smoke:
 	$(GO) test -race ./internal/fleet/
 	$(GO) test -race -run TestConcurrent ./internal/cluster/
 	$(GO) run ./cmd/dapper-bench -jsonout BENCH_fleet.json fleet
+
+# registry-smoke gates the persistent checkpoint store: the registry
+# package's crash-replay and GC tests plus the COW clone path under the
+# race detector, then the registry table — cross-dump dedup hit-rate on
+# an evolving rediska server and clone fan-out latency at N=1/4/16 —
+# which itself hard-fails on a zero hit-rate, zero shared frames, or any
+# clone answering queries differently from its siblings.
+registry-smoke:
+	$(GO) test -race ./internal/registry/ ./internal/kernel/
+	$(GO) test -race -run 'TestClone|TestMigrateViaRegistry' ./internal/cluster/ ./internal/fleet/
+	$(GO) run ./cmd/dapper-bench -jsonout BENCH_registry.json registry
 
 # bench-obs measures the telemetry fast paths: the Disabled* benchmarks
 # are the nil-registry no-ops every migration pays even with telemetry

@@ -28,11 +28,22 @@
 //	    The -codec/-delta knobs match migrate, so their wire effects
 //	    ("proto.bytes_saved", delta counters) land in the report.
 //
+//	dapperctl clone -n 4 [-at 0.5] [-registry DIR] [-manifest ID] prog.delf
+//	    Checkpoint the program mid-run, push the image into a persistent
+//	    content-addressed registry (docs/registry.md), and restore it
+//	    onto N fresh nodes at once. The clones share resident page
+//	    frames copy-on-write until first write; outputs are verified
+//	    byte-identical. -manifest skips the checkpoint and clones an
+//	    existing manifest out of -registry.
+//
 // Fleet subcommands (clients of the dapperd control plane; see
 // docs/fleet.md — start the daemon first):
 //
-//	dapperctl submit -socket dapperd.sock -program cg [-lazy|-precopy] [-codec C] [-delta] [-dedup] [-workers N] [-at F] [-target sx86|sarm] [-retries N]
-//	    Queue a migration job; prints the job id.
+//	dapperctl submit -socket dapperd.sock -program cg [-lazy|-precopy] [-codec C] [-delta] [-dedup] [-workers N] [-at F] [-target sx86|sarm] [-retries N] [-manifest ID -clone N]
+//	    Queue a migration job; prints the job id. With -manifest the job
+//	    becomes a clone job: the daemon (started with -registry) restores
+//	    the stored checkpoint onto the placed node -clone times instead
+//	    of migrating a live process.
 //
 //	dapperctl jobs -socket dapperd.sock [-json]
 //	    List every job the daemon knows with state and attempt counts.
@@ -62,6 +73,7 @@ import (
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/monitor"
 	"github.com/dapper-sim/dapper/internal/obs"
+	"github.com/dapper-sim/dapper/internal/registry"
 	"github.com/dapper-sim/dapper/internal/workloads"
 )
 
@@ -74,9 +86,11 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: dapperctl run|checkpoint|restore|migrate|stats|submit|jobs|status|drain-node ...")
+		return fmt.Errorf("usage: dapperctl run|checkpoint|restore|migrate|stats|clone|submit|jobs|status|drain-node ...")
 	}
 	switch args[0] {
+	case "clone":
+		return cmdClone(args[1:])
 	case "run":
 		return cmdRun(args[1:])
 	case "checkpoint":
@@ -397,6 +411,119 @@ func cmdStats(args []string) (err error) {
 	return nil
 }
 
+// cmdClone checkpoints a program mid-run into a content-addressed
+// registry store and restores it onto N fresh nodes at once: the
+// serverless-style warm-start fan-out. All clones share resident page
+// frames copy-on-write until first write, and their outputs are
+// verified byte-identical against clone 0.
+func cmdClone(args []string) (err error) {
+	fs := flag.NewFlagSet("clone", flag.ContinueOnError)
+	n := fs.Int("n", 2, "clone fan-out: how many nodes to restore onto")
+	at := fs.Float64("at", 0.5, "checkpoint position as a fraction of total cycles")
+	regDir := fs.String("registry", "dapper.registry", "persistent chunk store directory")
+	manifestID := fs.String("manifest", "", "clone this stored manifest instead of checkpointing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *n < 1 {
+		return fmt.Errorf("usage: dapperctl clone -n N [-at F] [-registry DIR] [-manifest ID] prog.delf")
+	}
+	reg := obs.New()
+	store, err := registry.Open(*regDir, registry.Opts{Obs: reg})
+	if err != nil {
+		return err
+	}
+	// A close failure means the manifest journal may not be durable.
+	defer func() {
+		if cerr := store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	bin, err := loadBinary(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	exe := exePathOf(fs.Arg(0), bin.Arch)
+
+	id := *manifestID
+	if id == "" {
+		node, p, srcBin, err := startAndRunTo(fs.Arg(0), *at)
+		if err != nil {
+			return err
+		}
+		mon := monitor.New(node.K, p, srcBin.Meta)
+		if err := mon.Pause(1 << 22); err != nil {
+			return err
+		}
+		dir, err := criu.Dump(p, criu.DumpOpts{})
+		if err != nil {
+			return err
+		}
+		m, pst, err := store.Push(dir, registry.PushOpts{})
+		if err != nil {
+			return err
+		}
+		id = m.ID
+		fmt.Printf("pushed manifest %s: %d new chunks (%dB stored), %d hit (%dB elided)\n",
+			id, pst.ChunksNew, pst.BytesStored, pst.ChunksHit, pst.BytesElided)
+	} else if id, err = resolveManifest(store, id); err != nil {
+		return fmt.Errorf("%w (store %s)", err, *regDir)
+	}
+
+	targets := make([]*cluster.Node, *n)
+	for i := range targets {
+		targets[i] = nodeFor(bin.Arch)
+		targets[i].Binaries[exe] = bin
+	}
+	res, err := cluster.CloneFromRegistry(store, id, targets, cluster.CloneOpts{Obs: reg})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cloned %.12s onto %d nodes: %d shared frames, %d resident pages/clone shared, pull=%v restore=%v\n",
+		id, *n, res.Frames.Len(), res.Procs[0].AS.SharedResidentPages(), res.PullHost, res.RestoreHost)
+	var out string
+	var breaks uint64
+	for i, p := range res.Procs {
+		if err := targets[i].K.Run(p); err != nil {
+			return fmt.Errorf("run clone %d: %w", i, err)
+		}
+		breaks += p.AS.CowBreaks()
+		if i == 0 {
+			out = p.ConsoleString()
+			continue
+		}
+		if got := p.ConsoleString(); got != out {
+			return fmt.Errorf("clone %d output diverged from clone 0", i)
+		}
+	}
+	fmt.Printf("all %d clones byte-identical; %d COW page breaks total\n", *n, breaks)
+	fmt.Print(out)
+	return nil
+}
+
+// resolveManifest expands a possibly-truncated manifest ID (like the
+// %.12s forms the CLI prints) to the unique stored manifest it
+// prefixes.
+func resolveManifest(store *registry.Store, id string) (string, error) {
+	if store.Manifest(id) != nil {
+		return id, nil
+	}
+	var matches []string
+	for _, m := range store.Manifests() {
+		if strings.HasPrefix(m, id) {
+			matches = append(matches, m)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return "", fmt.Errorf("manifest %q not in the store", id)
+	default:
+		return "", fmt.Errorf("manifest prefix %q is ambiguous (%d matches)", id, len(matches))
+	}
+}
+
 // ---- fleet subcommands: thin clients of the dapperd control socket ----
 
 // fleetSocket adds the shared -socket flag.
@@ -420,6 +547,8 @@ func cmdSubmit(args []string) error {
 	dst := fs.String("dst", "", "pin the destination node by name")
 	target := fs.String("target", "", "constrain destination ISA: sx86 or sarm")
 	retries := fs.Int("retries", 0, "retry budget (0 = default, negative = none)")
+	manifest := fs.String("manifest", "", "submit a clone job for this registry manifest (daemon needs -registry)")
+	clones := fs.Int("clone", 0, "clone fan-out on the placed node (requires -manifest; default 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -433,6 +562,8 @@ func cmdSubmit(args []string) error {
 		DstNode:    *dst,
 		TargetArch: *target,
 		MaxRetries: *retries,
+		Manifest:   *manifest,
+		Clone:      *clones,
 		Class:      workloads.Class(strings.ToUpper(*class)),
 		Opts: fleet.JobOpts{
 			Workers: *workers,
@@ -482,6 +613,8 @@ func cmdJobs(args []string) error {
 			j.ID, j.Program, j.State, j.Mode, j.Attempts, j.Retries)
 		if j.Src != "" {
 			line += fmt.Sprintf(" %s->%s", j.Src, j.Dst)
+		} else if j.Manifest != "" && j.Dst != "" {
+			line += fmt.Sprintf(" %.12s->%s x%d", j.Manifest, j.Dst, j.Clones)
 		}
 		if j.State == "done" {
 			line += fmt.Sprintf(" migration=%v downtime=%v", j.Migration, j.Downtime)

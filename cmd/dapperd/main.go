@@ -10,12 +10,19 @@
 //
 //	dapperd -socket dapperd.sock -journal dapperd.journal \
 //	        -xeons 2 -pis 2 -cap 2 -policy least-loaded \
-//	        -programs cg,mg -class S
+//	        -programs cg,mg -class S [-registry dapper.registry]
 //
 // The journal makes the queue durable: killing the daemon mid-queue and
 // restarting it with the same -journal resumes the remaining jobs
 // without loss or duplication (programs re-register from the journal;
 // nodes come from the flags). See docs/fleet.md.
+//
+// -registry opens a persistent content-addressed checkpoint store
+// (docs/registry.md) and enables clone jobs: dapperctl submit -manifest
+// ID -clone N restores a stored checkpoint onto a placed node N times
+// with copy-on-write page sharing. The daemon pins each clone job's
+// manifest against registry GC until the job is terminal, across
+// restarts.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 
 	"github.com/dapper-sim/dapper/internal/cluster"
 	"github.com/dapper-sim/dapper/internal/fleet"
+	"github.com/dapper-sim/dapper/internal/registry"
 	"github.com/dapper-sim/dapper/internal/workloads"
 )
 
@@ -43,6 +51,7 @@ func main() {
 type options struct {
 	socket   string
 	journal  string
+	registry string
 	xeons    int
 	pis      int
 	cap      int
@@ -57,6 +66,7 @@ func parseFlags(args []string) (options, error) {
 	fs := flag.NewFlagSet("dapperd", flag.ContinueOnError)
 	socket := fs.String("socket", "dapperd.sock", "unix socket path for the control API")
 	journalPath := fs.String("journal", "dapperd.journal", "append-only job journal (empty disables durability)")
+	registryDir := fs.String("registry", "", "content-addressed checkpoint store directory (enables clone jobs)")
 	xeons := fs.Int("xeons", 2, "number of SX86 Xeon-class nodes")
 	pis := fs.Int("pis", 2, "number of SARM Pi-class nodes")
 	capacity := fs.Int("cap", 2, "concurrent migration slots per node")
@@ -74,6 +84,7 @@ func parseFlags(args []string) (options, error) {
 	o := options{
 		socket:   *socket,
 		journal:  *journalPath,
+		registry: *registryDir,
 		xeons:    *xeons,
 		pis:      *pis,
 		cap:      *capacity,
@@ -92,27 +103,50 @@ func parseFlags(args []string) (options, error) {
 }
 
 // buildManager assembles the fleet from parsed options: xeonN/piN nodes,
-// pre-registered programs, policy, journal.
-func buildManager(o options) (*fleet.Manager, error) {
+// pre-registered programs, policy, journal, and (when -registry is set)
+// the persistent checkpoint store behind clone jobs. The returned store
+// is nil without -registry; the caller owns closing it after the
+// manager stops.
+func buildManager(o options) (*fleet.Manager, *registry.Store, error) {
+	var store *registry.Store
+	if o.registry != "" {
+		var err error
+		if store, err = registry.Open(o.registry, registry.Opts{}); err != nil {
+			return nil, nil, err
+		}
+	}
 	m, err := fleet.NewManager(fleet.Config{
-		Journal: o.journal,
-		Policy:  o.policy,
+		Journal:  o.journal,
+		Policy:   o.policy,
+		Registry: store,
 		Heartbeat: fleet.HeartbeatConfig{
 			Interval:  o.hbEvery,
 			MaxMissed: o.hbMissed,
 		},
 	})
 	if err != nil {
-		return nil, err
+		if store != nil {
+			_ = store.Close() // surfacing the NewManager error matters more
+		}
+		return nil, nil, err
+	}
+	fail := func(err error) (*fleet.Manager, *registry.Store, error) {
+		if serr := m.Stop(); serr != nil {
+			err = fmt.Errorf("%w (stop: %v)", err, serr)
+		}
+		if store != nil {
+			_ = store.Close() // the original build error matters more
+		}
+		return nil, nil, err
 	}
 	for i := 0; i < o.xeons; i++ {
 		if err := m.AddNode(fmt.Sprintf("xeon%d", i), cluster.XeonSpec, o.cap); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	for i := 0; i < o.pis; i++ {
 		if err := m.AddNode(fmt.Sprintf("pi%d", i), cluster.PiSpec, o.cap); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	for _, prog := range o.programs {
@@ -122,10 +156,10 @@ func buildManager(o options) (*fleet.Manager, error) {
 		}
 		// Journal replay may have re-registered it already.
 		if err := m.RegisterWorkload(prog, o.class); err != nil && !strings.Contains(err.Error(), "duplicate program") {
-			return nil, err
+			return fail(err)
 		}
 	}
-	return m, nil
+	return m, store, nil
 }
 
 func run(args []string) error {
@@ -133,22 +167,36 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	m, err := buildManager(o)
+	m, store, err := buildManager(o)
 	if err != nil {
 		return err
 	}
-	if err := m.Start(); err != nil {
+	closeStore := func(err error) error {
+		if store == nil {
+			return err
+		}
+		if cerr := store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 		return err
+	}
+	if err := m.Start(); err != nil {
+		return closeStore(err)
 	}
 	srv, err := fleet.Serve(m, o.socket)
 	if err != nil {
 		if serr := m.Stop(); serr != nil {
 			err = fmt.Errorf("%w (stop: %v)", err, serr)
 		}
-		return err
+		return closeStore(err)
 	}
 	fmt.Printf("dapperd: %d nodes, policy %s, socket %s, journal %s\n",
 		o.xeons+o.pis, o.policy, o.socket, o.journal)
+	if store != nil {
+		st := store.Stat()
+		fmt.Printf("dapperd: registry %s (%d manifests, %d chunks; clone jobs enabled)\n",
+			o.registry, st.Manifests, st.Chunks)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -158,6 +206,7 @@ func run(args []string) error {
 	if serr := m.Stop(); serr != nil && err == nil {
 		err = serr
 	}
+	err = closeStore(err)
 	rep := m.Report()
 	fmt.Print(rep.Text())
 	return err

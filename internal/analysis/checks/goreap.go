@@ -8,9 +8,11 @@ import (
 
 // Goreap requires every goroutine launched in the transport packages
 // (internal/criu, internal/cluster), in the worker-pool substrate
-// (internal/parallel), and in the fleet control plane (internal/fleet —
+// (internal/parallel), in the fleet control plane (internal/fleet —
 // scheduler/heartbeat loops, per-job executors, and the control socket's
-// accept/serve goroutines) to have a visible join/reap path. A leaked
+// accept/serve goroutines), and in the persistent checkpoint store
+// (internal/registry — its journal and GC must never leave background
+// writers unjoined past Close) to have a visible join/reap path. A leaked
 // serving goroutine outlives its migration, holds its connection, and
 // makes "Close waits for the serving goroutines" a lie — the exact leak
 // class the post-copy hardening fixed; in the daemon it also makes
@@ -31,7 +33,7 @@ var Goreap = &analysis.Analyzer{
 	Name:      "goreap",
 	Doc:       "goroutines in transport packages need a join/reap path",
 	SkipTests: true,
-	Packages:  []string{"internal/criu", "internal/cluster", "internal/parallel", "internal/fleet"},
+	Packages:  []string{"internal/criu", "internal/cluster", "internal/parallel", "internal/fleet", "internal/registry"},
 	Run: func(p *analysis.Pass) {
 		for _, f := range p.Files {
 			eachFuncBody(f, func(body *ast.BlockStmt) {

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/imgcheck"
+	"github.com/dapper-sim/dapper/internal/kernel"
+	"github.com/dapper-sim/dapper/internal/obs"
+	"github.com/dapper-sim/dapper/internal/parallel"
+	"github.com/dapper-sim/dapper/internal/registry"
+)
+
+// CloneOpts controls a clone fan-out.
+type CloneOpts struct {
+	// Workers bounds the parallel restore fan-out and the imgcheck
+	// pre-flight sweeps. Values <= 0 select runtime.NumCPU().
+	Workers int
+	// Obs, if set, receives clone telemetry (clone.count,
+	// clone.shared_frames, clone.restore_host_ns).
+	Obs *obs.Registry
+}
+
+// CloneResult is one fan-out's outcome.
+type CloneResult struct {
+	// Procs holds one restored process per target node, in target order.
+	Procs []*kernel.Process
+	// Frames is the shared frame cache every clone reads through; its
+	// Len is the number of distinct resident page frames the clones
+	// share until first write.
+	Frames *kernel.FrameCache
+	// PullHost and RestoreHost are real host wall times for
+	// materializing the image and restoring all clones.
+	PullHost    time.Duration
+	RestoreHost time.Duration
+}
+
+// CloneFromRegistry restores one stored checkpoint onto every target
+// node — the serverless-style warm-start fan-out. The manifest chain is
+// pulled and flattened once, pre-flighted once with imgcheck, and then
+// restored N times with copy-on-write page installation: all clones
+// share one set of resident page frames (kernel.FrameCache) until a
+// clone's first write to a page privatizes its copy.
+//
+// Targets may repeat a node: each entry restores one clone onto that
+// node's kernel. Every target must have the checkpoint's binary
+// installed.
+func CloneFromRegistry(store *registry.Store, manifest string, targets []*Node, opts CloneOpts) (*CloneResult, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("cluster: clone: no target nodes")
+	}
+	//lint:ignore wallclock clone latency is real host time by definition, reported separately from modeled migration time
+	pullStart := time.Now()
+	chain, err := store.PullChain(manifest)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: clone: %w", err)
+	}
+	dir := chain[len(chain)-1]
+	if len(chain) > 1 {
+		if dir, err = criu.FlattenChain(chain); err != nil {
+			return nil, fmt.Errorf("cluster: clone flatten: %w", err)
+		}
+	}
+	// Pre-flight once for the whole fan-out: every chunk was re-hashed
+	// inside Pull, and the materialized image must satisfy every static
+	// invariant before it is installed anywhere.
+	if err := imgcheck.VerifyWith(dir, imgcheck.Opts{Workers: opts.Workers}); err != nil {
+		return nil, fmt.Errorf("cluster: clone pre-flight: %w", err)
+	}
+	res := &CloneResult{
+		Procs:  make([]*kernel.Process, len(targets)),
+		Frames: kernel.NewFrameCache(),
+	}
+	//lint:ignore wallclock clone latency is real host time by definition, reported separately from modeled migration time
+	res.PullHost = time.Since(pullStart)
+
+	//lint:ignore wallclock clone latency is real host time by definition, reported separately from modeled migration time
+	restoreStart := time.Now()
+	pool := parallel.New(opts.Workers)
+	if err := pool.ForEach(len(targets), func(i int) error {
+		p, err := criu.RestoreWith(targets[i].K, dir, targets[i].Binaries, criu.RestoreOpts{Frames: res.Frames})
+		if err != nil {
+			return fmt.Errorf("cluster: clone %d on %s: %w", i, targets[i].Spec.Name, err)
+		}
+		res.Procs[i] = p
+		return nil
+	}); err != nil {
+		// Reap any clones that did land so a partial fan-out leaks nothing.
+		for i, p := range res.Procs {
+			if p != nil {
+				targets[i].K.Reap(p)
+			}
+		}
+		return nil, err
+	}
+	//lint:ignore wallclock clone latency is real host time by definition, reported separately from modeled migration time
+	res.RestoreHost = time.Since(restoreStart)
+
+	opts.Obs.Counter("clone.count").Add(uint64(len(targets)))
+	opts.Obs.Counter("clone.shared_frames").Add(uint64(res.Frames.Len()))
+	opts.Obs.Histogram("clone.restore_host_ns").Observe(res.RestoreHost)
+	return res, nil
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/monitor"
 	"github.com/dapper-sim/dapper/internal/obs"
+	"github.com/dapper-sim/dapper/internal/registry"
 	"github.com/dapper-sim/dapper/internal/stackmap"
 )
 
@@ -218,6 +219,18 @@ type MigrateOpts struct {
 	// mutations, which CodecFlate then collapses — and soft-dirty false
 	// positives are elided entirely. See criu.DumpOpts.DeltaBase.
 	Delta bool
+	// Registry routes the vanilla transfer through a persistent
+	// content-addressed store instead of the wire: the rewritten image is
+	// pushed (chunks the store already holds are elided), and the
+	// destination pulls and imgcheck-pre-flights the materialized
+	// directory. WireBytes then counts only the bytes the push actually
+	// stored — the cross-dump dedup saving is (ImageBytes - WireBytes).
+	// Incompatible with Lazy and PreCopy.
+	Registry *registry.Store
+	// RegistryOwner, when non-empty with Registry, pins the pushed
+	// manifest under this owner tag so GC cannot sweep it while the
+	// caller still wants it (see registry.Store.Unref).
+	RegistryOwner string
 }
 
 // MigrationResult couples the restored process with its costs and any
@@ -225,6 +238,9 @@ type MigrateOpts struct {
 type MigrationResult struct {
 	Proc      *kernel.Process
 	Breakdown Breakdown
+	// Manifest is the registry manifest ID of the shipped image when the
+	// migration ran through MigrateOpts.Registry, empty otherwise.
+	Manifest string
 	// Source is the paused source process's page source. It is non-nil
 	// only for lazy migrations, where the source process must stay alive
 	// to serve post-copy faults: run the restored process to completion
@@ -346,6 +362,9 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	if opts.Delta && opts.PreCopy == nil {
 		return nil, fmt.Errorf("cluster: delta encoding requires pre-copy migration")
 	}
+	if opts.Registry != nil && (opts.Lazy || opts.PreCopy != nil) {
+		return nil, fmt.Errorf("cluster: registry transfer supports vanilla migrations only")
+	}
 	if opts.PreCopy != nil {
 		if opts.Lazy {
 			return nil, fmt.Errorf("cluster: pre-copy is incompatible with lazy migration")
@@ -388,11 +407,32 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	// 3. Copy images over the link (scp). With a batch codec the blob
 	// round-trips the real v3 stream encoder — the exact bytes a TCP
 	// transfer would carry — so WireBytes is measured, not estimated.
-	blob := sh.marshal(dir, opts.Workers)
-	bd.ImageBytes = uint64(len(blob))
-	bd.WireBytes = bd.ImageBytes
+	// With a registry the image is pushed instead: only chunks the store
+	// does not already hold cross the wire, and the destination pulls
+	// and pre-flights the materialized directory.
 	var dir2 *criu.ImageDir
-	if opts.Codec.Batched() {
+	var manifest string
+	if opts.Registry != nil {
+		m, pst, err := opts.Registry.Push(dir, registry.PushOpts{Owner: opts.RegistryOwner})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: registry push: %w", err)
+		}
+		manifest = m.ID
+		pagesRaw, _ := dir.Get("pages.img")
+		metaBytes := dir.Size() - uint64(len(pagesRaw))
+		bd.ImageBytes = dir.Size()
+		bd.WireBytes = pst.BytesStored + metaBytes
+		if dir2, err = opts.Registry.Pull(manifest); err != nil {
+			return nil, fmt.Errorf("cluster: registry pull: %w", err)
+		}
+		// Pull-path pre-flight: the materialized image re-verifies every
+		// invariant (and every chunk re-hashed inside Pull), so a corrupt
+		// store entry fails here with a named invariant, never mid-restore.
+		if err := imgcheck.VerifyWith(dir2, imgcheck.Opts{Workers: opts.Workers}); err != nil {
+			return nil, fmt.Errorf("cluster: registry pull pre-flight: %w", err)
+		}
+	} else if blob := sh.marshal(dir, opts.Workers); opts.Codec.Batched() {
+		bd.ImageBytes = uint64(len(blob))
 		var buf bytes.Buffer
 		wire, err := writeImageStream(&buf, blob, opts.Codec, 0, opts.Obs)
 		if err != nil {
@@ -403,6 +443,8 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 			return nil, fmt.Errorf("cluster: transfer: %w", err)
 		}
 	} else {
+		bd.ImageBytes = uint64(len(blob))
+		bd.WireBytes = bd.ImageBytes
 		var err error
 		if dir2, err = criu.UnmarshalImageDir(blob); err != nil {
 			return nil, fmt.Errorf("cluster: transfer: %w", err)
@@ -437,7 +479,7 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	reg.Counter("migrate.image_bytes").Add(bd.ImageBytes)
 	reg.Histogram("recode.host_ns").Observe(bd.RecodeHost)
 
-	res := &MigrationResult{Proc: p2, Breakdown: bd, srcKernel: src.K, srcProc: p, dstKernel: dst.K}
+	res := &MigrationResult{Proc: p2, Breakdown: bd, Manifest: manifest, srcKernel: src.K, srcProc: p, dstKernel: dst.K}
 	if !opts.Lazy {
 		// Nothing will ever fault back to the source: reap it now instead
 		// of leaking it SIGSTOPed forever. Its console stays readable.

@@ -1,0 +1,95 @@
+package criu_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/mem"
+)
+
+// TestDedupDeltaCombinedFlags pins the dedup/delta interaction: a page
+// that is both delta-encoded against its base and byte-identical to an
+// earlier delta page in the same dump is emitted as a combined
+// dedup+delta entry, resolves in one forward pass of LoadPageSet (with
+// the delta class propagated), and never crosses representation classes
+// — identical bytes stored once as content and once as an XOR diff must
+// not dedup against each other.
+func TestDedupDeltaCombinedFlags(t *testing.T) {
+	mk := func(fill byte) []byte {
+		pg := make([]byte, mem.PageSize)
+		for i := range pg {
+			pg[i] = fill
+		}
+		return pg
+	}
+	const base = uint64(0x1000_0000)
+	pg := func(i uint64) uint64 { return base + i*mem.PageSize }
+
+	ps := criu.NewPageSet()
+	ps.Pages[pg(0)] = mk(0x11) // plain data, dedup keeper
+	ps.Pages[pg(1)] = mk(0x22) // delta, dedup keeper
+	ps.DeltaPages[pg(1)] = true
+	ps.Pages[pg(2)] = mk(0x22) // identical delta -> dedup+delta ref
+	ps.DeltaPages[pg(2)] = true
+	ps.Pages[pg(3)] = mk(0x11) // identical data -> plain dedup ref
+	ps.Pages[pg(4)] = mk(0x22) // same bytes as the delta pages, but plain
+	// data: must NOT dedup across the classes
+
+	dir := criu.NewImageDir()
+	stats := ps.StoreWith(dir, criu.StoreOpts{Dedup: true})
+	if stats.PagesElided != 2 {
+		t.Fatalf("PagesElided = %d, want 2 (one per class)", stats.PagesElided)
+	}
+
+	pmRaw, _ := dir.Get("pagemap.img")
+	pm, err := criu.UnmarshalPagemap(pmRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var combined, plain int
+	for _, en := range pm.Entries {
+		switch {
+		case en.Dedup && en.Delta:
+			combined++
+			if en.Vaddr != pg(2) || en.DedupSrc != pg(1) {
+				t.Fatalf("combined entry 0x%x -> 0x%x, want 0x%x -> 0x%x", en.Vaddr, en.DedupSrc, pg(2), pg(1))
+			}
+		case en.Dedup:
+			plain++
+			if en.Vaddr != pg(3) || en.DedupSrc != pg(0) {
+				t.Fatalf("plain dedup entry 0x%x -> 0x%x, want 0x%x -> 0x%x", en.Vaddr, en.DedupSrc, pg(3), pg(0))
+			}
+		}
+	}
+	if combined != 1 || plain != 1 {
+		t.Fatalf("dedup entries: combined=%d plain=%d, want 1/1", combined, plain)
+	}
+
+	got, err := criu.LoadPageSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, want := range ps.Pages {
+		if !bytes.Equal(got.Pages[a], want) {
+			t.Fatalf("page 0x%x differs after dedup resolution", a)
+		}
+		if got.DeltaPages[a] != ps.DeltaPages[a] {
+			t.Fatalf("page 0x%x delta flag = %v, want %v", a, got.DeltaPages[a], ps.DeltaPages[a])
+		}
+	}
+
+	// An ill-classed reference — the combined entry's delta flag stripped
+	// so it claims a data-class ref into a delta source — must be
+	// rejected, not silently resolved.
+	for i := range pm.Entries {
+		if pm.Entries[i].Dedup && pm.Entries[i].Delta {
+			pm.Entries[i].Delta = false
+		}
+	}
+	dir.Put("pagemap.img", pm.Marshal())
+	if _, err := criu.LoadPageSet(dir); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("class-crossing dedup ref not rejected, err = %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/dapper-sim/dapper/internal/mem"
 	"github.com/dapper-sim/dapper/internal/obs"
 	"github.com/dapper-sim/dapper/internal/parallel"
+	"github.com/dapper-sim/dapper/internal/registry"
 )
 
 // DumpOpts controls the dump.
@@ -58,6 +59,21 @@ type DumpOpts struct {
 	// references, shrinking pages.img and the wire transfer. Off by
 	// default to keep images byte-identical with pre-dedup dumps.
 	Dedup bool
+	// Registry, if set, pushes the finished image to this persistent
+	// content-addressed store: page chunks the store already holds are
+	// elided (the store's registry.chunks_hit counter — the cross-dump
+	// analogue of Dedup's within-dump elision) and the manifest is
+	// journaled durably.
+	Registry *registry.Store
+	// RegistryParent links the pushed manifest to the parent
+	// checkpoint's manifest, making the incremental/delta chain
+	// first-class in the store (GC pins ancestors of live manifests).
+	RegistryParent string
+	// RegistryOwner, when non-empty, takes an owner-tagged reference on
+	// the pushed manifest so it is born pinned against GC.
+	RegistryOwner string
+	// ManifestOut, if non-nil, receives the pushed manifest's ID.
+	ManifestOut *string
 }
 
 // CoreName returns the core image filename for a thread.
@@ -229,6 +245,17 @@ func Dump(p *kernel.Process, opts DumpOpts) (*ImageDir, error) {
 	opts.Obs.Counter("dump.pages_lazy").Add(uint64(len(ps.LazyPages)))
 	opts.Obs.Counter("dump.pages_parent").Add(uint64(len(ps.ParentPages)))
 	opts.Obs.Counter("dump.pages_delta").Add(uint64(len(ps.DeltaPages)))
+	if opts.Registry != nil {
+		m, _, err := opts.Registry.Push(dir, registry.PushOpts{
+			Parent: opts.RegistryParent, Owner: opts.RegistryOwner,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("criu: registry push: %w", err)
+		}
+		if opts.ManifestOut != nil {
+			*opts.ManifestOut = m.ID
+		}
+	}
 	opts.Obs.Histogram("dump.wall_ns").Observe(time.Since(start))
 	return dir, nil
 }

@@ -50,6 +50,16 @@ type PageClientOpts struct {
 	// DialTimeout bounds one (re)connection attempt (default 1s),
 	// including the batch-codec hello when Codec asks for one.
 	DialTimeout time.Duration
+	// RedialBudget bounds consecutive failed connection incarnations per
+	// pool slot (default 8). Dial failures, failed hello exchanges, and
+	// connections that die before delivering a single well-formed frame
+	// all count; any good frame resets the count. A slot past its budget
+	// is poisoned: further fetches through it fail immediately with
+	// ErrRedialExhausted (counted in pageclient.redial_exhausted)
+	// instead of redialing a server that accepts connections but never
+	// speaks the protocol — an unguarded client would redial such a
+	// server forever, once per retry of every faulted page.
+	RedialBudget int
 	// Codec requests batched (optionally compressed) response framing
 	// from the server (default CodecRaw = legacy v2 frames, no hello).
 	// Negotiated per connection at dial time; a v2 server answers the
@@ -81,6 +91,9 @@ func (o PageClientOpts) withDefaults() PageClientOpts {
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = time.Second
+	}
+	if o.RedialBudget <= 0 {
+		o.RedialBudget = 8
 	}
 	if o.PrefetchWorkers <= 0 {
 		o.PrefetchWorkers = parallel.Normalize(0)
@@ -118,10 +131,19 @@ type PageClientStats struct {
 	Batches        uint64
 	HelloFallbacks uint64
 	BatchDesyncs   uint64
+	// RedialsExhausted counts pool slots poisoned after RedialBudget
+	// consecutive failed connection incarnations.
+	RedialsExhausted uint64
 }
 
 // ErrPageClientClosed is returned by FetchPage after Close.
 var ErrPageClientClosed = errors.New("criu: page client closed")
+
+// ErrRedialExhausted is returned by FetchPage once a pool slot has burned
+// through its RedialBudget of consecutive failed connection incarnations.
+// It is sticky and terminal: retrying cannot help against a server that
+// keeps accepting connections and keeps failing them.
+var ErrRedialExhausted = errors.New("criu: page connection redial budget exhausted")
 
 // errConnBroken reports a request that raced with its connection's
 // teardown before it could be written; the retry loop redials.
@@ -161,6 +183,8 @@ type RemotePageSource struct {
 
 	// v3 batch-mode counters.
 	batchesC, helloFallback, batchDesync *obs.Counter
+
+	redialExhausted *obs.Counter
 }
 
 // DialPageServer connects to a page server with default options.
@@ -194,6 +218,7 @@ func DialPageServerOpts(addr string, opts PageClientOpts) (*RemotePageSource, er
 	c.batchesC = reg.Counter("pageclient.batches")
 	c.helloFallback = reg.Counter("pageclient.hello_fallback")
 	c.batchDesync = reg.Counter("pageclient.batch_desync")
+	c.redialExhausted = reg.Counter("pageclient.redial_exhausted")
 	c.faultLat = reg.Histogram("pageclient.fault_ns")
 	c.prefSem = parallel.NewSemaphore(c.opts.PrefetchWorkers)
 	c.conns = make([]*pageConn, c.opts.Conns)
@@ -209,20 +234,21 @@ func DialPageServerOpts(addr string, opts PageClientOpts) (*RemotePageSource, er
 // Stats returns a snapshot of the client counters.
 func (c *RemotePageSource) Stats() PageClientStats {
 	return PageClientStats{
-		Fetches:         c.fetches.Value(),
-		Retries:         c.retries.Value(),
-		Reconnects:      c.reconnects.Value(),
-		Timeouts:        c.timeouts.Value(),
-		RemoteErrors:    c.remoteErrs.Value(),
-		BytesRead:       c.bytes.Value(),
-		PrefetchIssued:  c.prefIssued.Value(),
-		Prefetched:      c.prefDone.Value(),
-		PrefetchHits:    c.prefHits.Value(),
-		PrefetchSkipped: c.prefSkips.Value(),
-		PrefetchPeak:    uint64(c.prefPeak.Load()),
-		Batches:         c.batchesC.Value(),
-		HelloFallbacks:  c.helloFallback.Value(),
-		BatchDesyncs:    c.batchDesync.Value(),
+		Fetches:          c.fetches.Value(),
+		Retries:          c.retries.Value(),
+		Reconnects:       c.reconnects.Value(),
+		Timeouts:         c.timeouts.Value(),
+		RemoteErrors:     c.remoteErrs.Value(),
+		BytesRead:        c.bytes.Value(),
+		PrefetchIssued:   c.prefIssued.Value(),
+		Prefetched:       c.prefDone.Value(),
+		PrefetchHits:     c.prefHits.Value(),
+		PrefetchSkipped:  c.prefSkips.Value(),
+		PrefetchPeak:     uint64(c.prefPeak.Load()),
+		Batches:          c.batchesC.Value(),
+		HelloFallbacks:   c.helloFallback.Value(),
+		BatchDesyncs:     c.batchDesync.Value(),
+		RedialsExhausted: c.redialExhausted.Value(),
 	}
 }
 
@@ -293,7 +319,7 @@ func (c *RemotePageSource) fetchWithRetry(addr uint64) ([]byte, error) {
 		if err == nil {
 			return page, nil
 		}
-		if errors.Is(err, ErrPageClientClosed) {
+		if errors.Is(err, ErrPageClientClosed) || errors.Is(err, ErrRedialExhausted) {
 			return nil, err
 		}
 		lastErr = err
@@ -442,6 +468,12 @@ type connState struct {
 	pending map[uint32]pendingFetch
 	nextID  uint32
 	dead    bool
+
+	// sawFrame records whether this incarnation ever delivered a
+	// well-formed response frame. Touched only by the incarnation's
+	// readLoop goroutine; an incarnation that dies without one counts
+	// against the slot's redial budget.
+	sawFrame bool
 }
 
 type pageConn struct {
@@ -450,17 +482,57 @@ type pageConn struct {
 	mu        sync.Mutex
 	cur       *connState
 	everAlive bool
+	// fails counts consecutive connection incarnations that never
+	// produced a good frame (dial errors, hello failures, instant
+	// desyncs). At RedialBudget the slot is poisoned: exhausted is
+	// sticky and state() stops dialing.
+	fails     int
+	exhausted bool
+}
+
+// noteFailLocked records one failed incarnation; callers hold pc.mu.
+func (pc *pageConn) noteFailLocked() {
+	pc.fails++
+	if pc.fails >= pc.client.opts.RedialBudget && !pc.exhausted {
+		pc.exhausted = true
+		pc.client.redialExhausted.Inc()
+	}
+}
+
+// noteFail is noteFailLocked for the readLoop side. A teardown raced with
+// client Close is not a server failure and never counts.
+func (pc *pageConn) noteFail() {
+	if pc.client.isClosed() {
+		return
+	}
+	pc.mu.Lock()
+	pc.noteFailLocked()
+	pc.mu.Unlock()
+}
+
+// resetFails clears the consecutive-failure count: the slot reached a
+// server that actually speaks the protocol.
+func (pc *pageConn) resetFails() {
+	pc.mu.Lock()
+	pc.fails = 0
+	pc.mu.Unlock()
 }
 
 // state returns the live connection, dialing a fresh one if needed.
 func (pc *pageConn) state() (*connState, error) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	if pc.exhausted {
+		return nil, ErrRedialExhausted
+	}
 	if pc.cur != nil {
 		return pc.cur, nil
 	}
 	conn, err := pc.client.dial()
 	if err != nil {
+		if !errors.Is(err, ErrPageClientClosed) {
+			pc.noteFailLocked()
+		}
 		return nil, err
 	}
 	codec := imgproto.CodecRaw
@@ -472,6 +544,7 @@ func (pc *pageConn) state() (*connState, error) {
 			// The exchange died mid-frame, leaving the stream position
 			// unknown; the conn is unusable either way.
 			_ = conn.Close()
+			pc.noteFailLocked()
 			return nil, err
 		}
 		if !codec.Batched() {
@@ -529,8 +602,15 @@ func (pc *pageConn) readLoop(cs *connState) {
 					// this counter is the only visible trace.
 					pc.client.batchDesync.Inc()
 				}
+				if !cs.sawFrame {
+					pc.noteFail()
+				}
 				pc.drop(cs, err)
 				return
+			}
+			if !cs.sawFrame {
+				cs.sawFrame = true
+				pc.resetFails()
 			}
 			pc.client.batchesC.Inc()
 			for _, resp := range resps {
@@ -540,8 +620,15 @@ func (pc *pageConn) readLoop(cs *connState) {
 		}
 		resp, err := readPageResponse(cs.br)
 		if err != nil {
+			if !cs.sawFrame {
+				pc.noteFail()
+			}
 			pc.drop(cs, err)
 			return
+		}
+		if !cs.sawFrame {
+			cs.sawFrame = true
+			pc.resetFails()
 		}
 		pc.dispatch(cs, resp)
 	}

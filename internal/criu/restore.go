@@ -38,6 +38,16 @@ func (m MapProvider) Register(path string, b *compiler.Binary) {
 
 var _ BinaryProvider = MapProvider(nil)
 
+// RestoreOpts selects optional restore behaviors; the zero value is the
+// plain restore every migration uses.
+type RestoreOpts struct {
+	// Frames, when non-nil, installs every dumped page as a shared
+	// copy-on-write frame from this cache instead of a private copy —
+	// the clone fan-out path, where N restores of one checkpoint share
+	// resident pages until first write.
+	Frames *kernel.FrameCache
+}
+
 // Restore rebuilds a process from an image directory on kernel k. Lazy
 // pages (post-copy) are left unpopulated; install a fault handler on the
 // returned process's address space before running it.
@@ -46,6 +56,11 @@ var _ BinaryProvider = MapProvider(nil)
 // checker start) and the DAPPER flag is cleared, so the restored process
 // continues transparently.
 func Restore(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider) (*kernel.Process, error) {
+	return RestoreWith(k, dir, provider, RestoreOpts{})
+}
+
+// RestoreWith is Restore with options.
+func RestoreWith(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider, opts RestoreOpts) (*kernel.Process, error) {
 	// Pre-flight: a corrupt or truncated image set (shuffled pagemap,
 	// missing core, flagged entries carrying bytes, ...) must fail here
 	// with a named invariant, not mid-restore with pages installed at the
@@ -118,6 +133,11 @@ func Restore(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider) (*kernel.
 		return nil, fmt.Errorf("criu: image has %d unresolved XOR-delta pages; flatten the chain (FlattenChain) before restore", len(ps.DeltaPages))
 	}
 	for addr, pg := range ps.Pages {
+		if opts.Frames != nil {
+			idx := addr / mem.PageSize
+			as.InstallSharedPage(idx, opts.Frames.Frame(idx, pg))
+			continue
+		}
 		as.InstallPage(addr/mem.PageSize, pg)
 	}
 	// Zero pages normally stay demand-zero, but a post-copy restore

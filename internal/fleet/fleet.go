@@ -41,6 +41,7 @@ import (
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/obs"
 	"github.com/dapper-sim/dapper/internal/parallel"
+	"github.com/dapper-sim/dapper/internal/registry"
 	"github.com/dapper-sim/dapper/internal/workloads"
 )
 
@@ -69,6 +70,13 @@ type Config struct {
 	// Obs is the fleet telemetry registry; nil creates a private one
 	// (the report always works).
 	Obs *obs.Registry
+	// Registry is the persistent content-addressed checkpoint store
+	// clone jobs restore from (see JobSpec.Manifest). Required for
+	// clone jobs; plain migration jobs ignore it. The manager pins each
+	// clone job's manifest in the store (owner "job-<id>") from submit
+	// until the job is terminal, and reconciles those pins against the
+	// replayed job states at startup.
+	Registry *registry.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -187,6 +195,11 @@ type Manager struct {
 	stop chan struct{}
 	wake chan struct{}
 	wg   sync.WaitGroup
+
+	// testHookAfterAcquire, when set, runs between a placement's slot
+	// acquisitions and its mark-down re-check; tests inject a heartbeat
+	// transition there to force the race deterministically.
+	testHookAfterAcquire func(job *Job, src, dst *NodeState)
 }
 
 // NewManager builds a manager, replaying the configured journal: journaled
@@ -228,6 +241,16 @@ func NewManager(cfg Config) (*Manager, error) {
 		if job.State == Pending {
 			m.reg.Counter("fleet.jobs_resumed").Inc()
 		}
+	}
+	// Clone-job manifest pins live in the registry's journal, job states
+	// in the fleet journal; a crash can land between any fsync of one
+	// and the matching update of the other. Both Ref and Unref are
+	// idempotent per owner, so replaying the job states onto the
+	// registry heals every such window: pending jobs re-assert their
+	// pins, terminal jobs release any pin the crash leaked.
+	if err := m.reconcileClonePins(); err != nil {
+		_ = j.Close() // surfacing the reconcile error; close is cleanup
+		return nil, err
 	}
 	return m, nil
 }
@@ -405,12 +428,28 @@ func (m *Manager) Submit(spec JobSpec) (int, error) {
 			return 0, fmt.Errorf("fleet: unknown destination node %q", spec.DstNode)
 		}
 	}
+	if spec.Manifest != "" {
+		if m.cfg.Registry == nil {
+			m.mu.Unlock()
+			return 0, fmt.Errorf("fleet: clone job needs a configured registry")
+		}
+		if m.cfg.Registry.Manifest(spec.Manifest) == nil {
+			m.mu.Unlock()
+			return 0, fmt.Errorf("fleet: unknown manifest %.12s", spec.Manifest)
+		}
+	}
 	id := m.nextID
 	m.nextID++
 	job := &Job{ID: id, Spec: spec, State: Pending}
 	m.jobs[id] = job
 	m.jobOrder = append(m.jobOrder, id)
 	err := m.journal.Append(Event{Type: "submit", Job: id, Spec: &spec})
+	if err == nil && spec.Manifest != "" {
+		// Pin after the submit event is durable: a crash between the two
+		// leaves a journaled pending job with no pin, which startup
+		// reconciliation re-asserts (Ref is idempotent per owner).
+		err = m.cfg.Registry.Ref(spec.Manifest, cloneOwner(id))
+	}
 	m.mu.Unlock()
 	if err != nil {
 		return 0, err
@@ -590,6 +629,12 @@ func (m *Manager) schedule() {
 		if job.State != Pending || now.Before(job.notBefore) {
 			continue
 		}
+		if job.Spec.Manifest != "" {
+			if !m.scheduleClone(job) {
+				return // fleet-wide bound reached
+			}
+			continue
+		}
 		src, dst := m.pickPlacement(job)
 		if src == nil || dst == nil {
 			continue
@@ -604,6 +649,22 @@ func (m *Manager) schedule() {
 		if !dst.acquire() {
 			src.release(0)
 			m.jobSlots.Release()
+			continue
+		}
+		if m.testHookAfterAcquire != nil {
+			m.testHookAfterAcquire(job, src, dst)
+		}
+		// The heartbeat flips down flags without taking m.mu, so a node
+		// can be marked down between the eligibility scan above and this
+		// point. Re-check now that the slots are held: a doomed placement
+		// fails cleanly back to Pending here — counted, slots released —
+		// instead of dispatching onto a node the prober just declared
+		// dead and burning a retry attempt on a guaranteed failure.
+		if src.Down() || dst.Down() {
+			src.release(0)
+			dst.release(0)
+			m.jobSlots.Release()
+			m.reg.Counter("fleet.placement_races").Inc()
 			continue
 		}
 		job.State = Running

@@ -141,6 +141,16 @@ type JobSpec struct {
 	Faults *FaultPlan `json:"faults,omitempty"`
 	// Class scales the workload when Program names a registry workload.
 	Class workloads.Class `json:"class,omitempty"`
+	// Manifest turns the job into a clone job: instead of migrating a
+	// live process, the executor restores this checkpoint manifest from
+	// the manager's registry (Config.Registry) onto the placed node.
+	// The manager pins the manifest against registry GC (owner
+	// "job-<id>") from submit until the job is terminal.
+	Manifest string `json:"manifest,omitempty"`
+	// Clone is the clone job's fan-out: how many copies to restore onto
+	// the placed node (default 1). All clones share resident page
+	// frames copy-on-write and must produce byte-identical output.
+	Clone int `json:"clone,omitempty"`
 }
 
 // DefaultMaxRetries is the retry budget for jobs that do not set one.
@@ -175,6 +185,20 @@ func (s *JobSpec) normalize() error {
 	}
 	if s.MaxRetries < 0 {
 		s.MaxRetries = 0
+	}
+	if s.Clone != 0 && s.Manifest == "" {
+		return fmt.Errorf("fleet: clone count without a manifest")
+	}
+	if s.Manifest != "" {
+		if s.Opts.Lazy || s.Opts.PreCopy || s.Opts.Delta {
+			return fmt.Errorf("fleet: clone jobs restore a stored checkpoint; lazy/precopy/delta do not apply")
+		}
+		if s.SrcNode != "" {
+			return fmt.Errorf("fleet: clone jobs have no source node")
+		}
+		if s.Clone <= 0 {
+			s.Clone = 1
+		}
 	}
 	return nil
 }
@@ -230,11 +254,15 @@ type JobView struct {
 	Downtime   time.Duration `json:"downtime_ns,omitempty"`
 	ImageBytes uint64        `json:"image_bytes,omitempty"`
 	WireBytes  uint64        `json:"wire_bytes,omitempty"`
+	Manifest   string        `json:"manifest,omitempty"`
+	Clones     int           `json:"clones,omitempty"`
 }
 
 func (j *Job) view() JobView {
 	mode := "vanilla"
-	if j.Spec.Opts.Lazy {
+	if j.Spec.Manifest != "" {
+		mode = "clone"
+	} else if j.Spec.Opts.Lazy {
 		mode = "lazy"
 	} else if j.Spec.Opts.PreCopy {
 		mode = "precopy"
@@ -258,5 +286,7 @@ func (j *Job) view() JobView {
 		Downtime:   j.Downtime,
 		ImageBytes: j.ImageBytes,
 		WireBytes:  j.WireBytes,
+		Manifest:   j.Spec.Manifest,
+		Clones:     j.Spec.Clone,
 	}
 }

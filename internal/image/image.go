@@ -551,17 +551,27 @@ func LoadPageSet(dir *ImageDir) (*PageSet, error) {
 			addr := en.Vaddr + uint64(i)*mem.PageSize
 			switch {
 			case en.Dedup:
-				// Dedup references point strictly backwards (the data
-				// page with the lowest vaddr keeps the bytes), so a
-				// single forward pass resolves every run.
+				// Dedup references point strictly backwards (the page
+				// with the lowest vaddr keeps the bytes), so a single
+				// forward pass resolves every run. A combined dedup+delta
+				// entry must reference an earlier delta page and a plain
+				// dedup entry an earlier data page: the delta flag names
+				// the representation of the shared bytes, and a mismatch
+				// would alias XOR-diff bytes as content (or vice versa).
 				src := en.DedupSrc + uint64(i)*mem.PageSize
 				srcPg, ok := ps.Pages[src]
 				if !ok || srcPg == nil {
 					return nil, fmt.Errorf("image: dedup page 0x%x references 0x%x, which holds no data", addr, src)
 				}
+				if en.Delta != ps.DeltaPages[src] {
+					return nil, fmt.Errorf("image: dedup page 0x%x (delta=%v) references 0x%x (delta=%v): flag class mismatch", addr, en.Delta, src, ps.DeltaPages[src])
+				}
 				pg := make([]byte, mem.PageSize)
 				copy(pg, srcPg)
 				ps.Pages[addr] = pg
+				if en.Delta {
+					ps.DeltaPages[addr] = true
+				}
 				continue
 			case en.Lazy:
 				ps.LazyPages[addr] = true
@@ -670,14 +680,19 @@ func (ps *PageSet) StoreWith(dir *ImageDir, opts StoreOpts) StoreStats {
 		dedupSrc = make(map[uint64]uint64)
 		byHash := make(map[uint64][]uint64) // content hash -> keeper vaddrs
 		for _, a := range addrs {
-			if ps.classOf(a) != pageData {
+			cls := ps.classOf(a)
+			if cls != pageData && cls != pageDelta {
 				continue
 			}
+			// Data pages dedup against data pages and delta pages against
+			// delta pages, never across: the bytes are only interchangeable
+			// within one representation. The class travels on the emitted
+			// entry as the combined dedup+delta flag pair.
 			pg := ps.Pages[a]
 			h := fnv1a64(pg)
 			matched := false
 			for _, src := range byHash[h] {
-				if bytes.Equal(ps.Pages[src], pg) {
+				if ps.classOf(src) == cls && bytes.Equal(ps.Pages[src], pg) {
 					dedupSrc[a] = src
 					matched = true
 					break
@@ -708,6 +723,7 @@ func (ps *PageSet) StoreWith(dir *ImageDir, opts StoreOpts) StoreStats {
 			// source range worth the extra coalescing complexity.
 			pm.Entries = append(pm.Entries, PagemapEntry{
 				Vaddr: a, NrPages: 1, Dedup: true, DedupSrc: dedupSrc[a],
+				Delta: ps.classOf(a) == pageDelta,
 			})
 			i++
 			continue

@@ -248,7 +248,10 @@ func checkStructure(d *decoded, r *Report, workers int) {
 					flags++
 				}
 			}
-			if flags > 1 {
+			// Exactly one flag pair is legal: dedup+delta, a dedup
+			// reference whose shared bytes are an XOR payload rather than
+			// plain content. Every other combination is contradictory.
+			if flags > 1 && !(flags == 2 && en.Dedup && en.Delta) {
 				sr.add(InvPagemapFlags, "entry %d at 0x%x sets %d of lazy/in_parent/zero/dedup/delta", i, en.Vaddr, flags)
 			}
 			switch {
@@ -279,30 +282,43 @@ func checkStructure(d *decoded, r *Report, workers int) {
 	checkDedupResolution(d, r)
 }
 
-// checkDedupResolution verifies every dedup run resolves to data pages
-// that appear earlier in the pagemap (references are strictly backwards
-// by construction, so one forward pass suffices). A dangling reference
-// would make LoadPageSet fail — or worse, a forward one would make the
-// image's meaning depend on decode order — so imgcheck rejects both.
+// checkDedupResolution verifies every dedup run resolves to a
+// byte-carrying page that appears earlier in the pagemap (references are
+// strictly backwards by construction, so one forward pass suffices) and
+// that the reference stays within its representation class: a plain
+// dedup entry must name an earlier data page, a combined dedup+delta
+// entry an earlier delta page. A dangling or class-crossing reference
+// would make LoadPageSet fail — or alias XOR-diff bytes as content — and
+// a forward one would make the image's meaning depend on decode order,
+// so imgcheck rejects all three.
 func checkDedupResolution(d *decoded, r *Report) {
-	data := make(map[uint64]bool)
+	const (
+		clsData = iota + 1
+		clsDelta
+	)
+	kept := make(map[uint64]int) // keeper vaddr -> representation class
 	for i, en := range d.pm.Entries {
 		if en.Dedup {
+			want, wantName := clsData, "data"
+			if en.Delta {
+				want, wantName = clsDelta, "delta"
+			}
 			for k := uint32(0); k < en.NrPages; k++ {
 				src := en.DedupSrc + uint64(k)*mem.PageSize
-				if !data[src] {
-					r.add(InvDedupRef, "entry %d: dedup page 0x%x references 0x%x, which is not an earlier data page",
-						i, en.Vaddr+uint64(k)*mem.PageSize, src)
+				if kept[src] != want {
+					r.add(InvDedupRef, "entry %d: dedup page 0x%x references 0x%x, which is not an earlier %s page",
+						i, en.Vaddr+uint64(k)*mem.PageSize, src, wantName)
 				}
 			}
 			continue
 		}
-		// Delta pages are excluded: their stored bytes are an XOR payload,
-		// not page content, so a dedup reference into them would alias the
-		// wrong bytes after flattening.
-		if !en.Lazy && !en.InParent && !en.Zero && !en.Delta {
+		if !en.Lazy && !en.InParent && !en.Zero {
+			cls := clsData
+			if en.Delta {
+				cls = clsDelta
+			}
 			for k := uint32(0); k < en.NrPages; k++ {
-				data[en.Vaddr+uint64(k)*mem.PageSize] = true
+				kept[en.Vaddr+uint64(k)*mem.PageSize] = cls
 			}
 		}
 	}

@@ -43,6 +43,11 @@ var fixtureWant = map[string]string{
 	"dedup_forward.json":    imgcheck.InvDedupRef,
 	"dedup_unaligned.json":  imgcheck.InvDedupRef,
 	"dedup_no_flag.json":    imgcheck.InvDedupRef,
+
+	"ok_dedup_delta.json":          "",
+	"dedup_delta_cross.json":       imgcheck.InvDedupRef,
+	"dedup_delta_plain_cross.json": imgcheck.InvDedupRef,
+	"dedup_delta_forward.json":     imgcheck.InvDedupRef,
 }
 
 // loadFixture parses one corpus file: a JSON array of CRIT documents

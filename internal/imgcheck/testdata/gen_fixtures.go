@@ -222,6 +222,68 @@ func main() {
 	d.Pagemap.Entries[0].DedupSrc = stackLo
 	fixtures["dedup_no_flag.json"] = []*criu.CritDoc{d}
 
+	// chainRoot returns a chain root carrying two plain data pages, the
+	// older content the delta fixtures below XOR against.
+	chainRoot := func() *criu.CritDoc {
+		r := baseDoc()
+		r.MM.VMAs[1].End = dataLo + 2*page
+		r.Pagemap.Entries = []criu.PagemapEntry{
+			{Vaddr: dataLo, NrPages: 2},
+			{Vaddr: stackHi - page, NrPages: 1, Zero: true},
+		}
+		r.Pages = bytes.Repeat([]byte{0x41}, 2*page)
+		return r
+	}
+
+	// Accepted by VerifyChain: the combined dedup+delta flag pair — the
+	// second delta page's XOR payload is identical to the first's, so it
+	// is a backwards dedup reference into an earlier delta page.
+	root = chainRoot()
+	d = baseDoc()
+	d.MM.VMAs[1].End = dataLo + 2*page
+	d.Pagemap.Entries = []criu.PagemapEntry{
+		{Vaddr: dataLo, NrPages: 1, Delta: true},
+		{Vaddr: dataLo + page, NrPages: 1, Dedup: true, DedupSrc: dataLo, Delta: true},
+		{Vaddr: stackHi - page, NrPages: 1, Zero: true},
+	}
+	fixtures["ok_dedup_delta.json"] = []*criu.CritDoc{root, d}
+
+	// dedup-ref: a dedup+delta entry referencing a plain data page — the
+	// classes must match or flattening would XOR content bytes as a diff.
+	root = chainRoot()
+	d = baseDoc()
+	d.MM.VMAs[1].End = dataLo + 2*page
+	d.Pagemap.Entries = []criu.PagemapEntry{
+		{Vaddr: dataLo, NrPages: 1},
+		{Vaddr: dataLo + page, NrPages: 1, Dedup: true, DedupSrc: dataLo, Delta: true},
+		{Vaddr: stackHi - page, NrPages: 1, Zero: true},
+	}
+	fixtures["dedup_delta_cross.json"] = []*criu.CritDoc{root, d}
+
+	// dedup-ref: a plain dedup entry referencing a delta page — the
+	// inverse class crossing, which would alias an XOR diff as content.
+	root = chainRoot()
+	d = baseDoc()
+	d.MM.VMAs[1].End = dataLo + 2*page
+	d.Pagemap.Entries = []criu.PagemapEntry{
+		{Vaddr: dataLo, NrPages: 1, Delta: true},
+		{Vaddr: dataLo + page, NrPages: 1, Dedup: true, DedupSrc: dataLo},
+		{Vaddr: stackHi - page, NrPages: 1, Zero: true},
+	}
+	fixtures["dedup_delta_plain_cross.json"] = []*criu.CritDoc{root, d}
+
+	// dedup-ref: a dedup+delta self-reference — combined-flag refs must
+	// point strictly backwards exactly like plain dedup refs.
+	root = chainRoot()
+	d = baseDoc()
+	d.MM.VMAs[1].End = dataLo + 2*page
+	d.Pagemap.Entries = []criu.PagemapEntry{
+		{Vaddr: dataLo, NrPages: 1, Delta: true},
+		{Vaddr: dataLo + page, NrPages: 1, Dedup: true, DedupSrc: dataLo + page, Delta: true},
+		{Vaddr: stackHi - page, NrPages: 1, Zero: true},
+	}
+	fixtures["dedup_delta_forward.json"] = []*criu.CritDoc{root, d}
+
 	for name, docs := range fixtures {
 		out, err := json.MarshalIndent(docs, "", "  ")
 		if err != nil {

@@ -1,0 +1,47 @@
+package kernel
+
+import (
+	"sync"
+
+	"github.com/dapper-sim/dapper/internal/mem"
+)
+
+// FrameCache backs copy-on-write clone fan-out: one checkpoint restored
+// onto N nodes installs each dumped page as the same *mem.Page frame in
+// every clone's address space (mem.InstallSharedPage), so the clones
+// share resident pages until their first write privatizes a copy.
+//
+// The cache is the frame's owner of record; restores only ever read
+// through it. Safe for concurrent use by parallel restores.
+type FrameCache struct {
+	mu     sync.Mutex
+	frames map[uint64]*mem.Page
+}
+
+// NewFrameCache returns an empty cache.
+func NewFrameCache() *FrameCache {
+	return &FrameCache{frames: make(map[uint64]*mem.Page)}
+}
+
+// Frame returns the shared frame for page idx, creating it from data on
+// first use. Later callers get the existing frame regardless of data:
+// all restores of one checkpoint install identical bytes, which is what
+// makes the share sound.
+func (fc *FrameCache) Frame(idx uint64, data []byte) *mem.Page {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if p, ok := fc.frames[idx]; ok {
+		return p
+	}
+	p := &mem.Page{Version: 1}
+	copy(p.Data[:], data)
+	fc.frames[idx] = p
+	return p
+}
+
+// Len reports how many distinct frames the cache holds.
+func (fc *FrameCache) Len() int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return len(fc.frames)
+}

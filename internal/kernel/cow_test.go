@@ -1,0 +1,76 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/mem"
+)
+
+// TestFrameCacheCopyOnWrite pins the clone-sharing contract: N address
+// spaces installing frames from one cache share the same resident
+// pages, reads see identical bytes, and the first write in one clone
+// privatizes only that clone's page — the shared frame and every other
+// clone are untouched.
+func TestFrameCacheCopyOnWrite(t *testing.T) {
+	const base = uint64(0x1000_0000)
+	fill := func(b byte) []byte {
+		pg := make([]byte, mem.PageSize)
+		for i := range pg {
+			pg[i] = b
+		}
+		return pg
+	}
+
+	fc := NewFrameCache()
+	spaces := make([]*mem.AddressSpace, 3)
+	for i := range spaces {
+		as := mem.NewAddressSpace()
+		if err := as.Map(mem.VMA{Start: base, End: base + 2*mem.PageSize, Kind: mem.VMAData, Prot: mem.ProtRead | mem.ProtWrite}); err != nil {
+			t.Fatal(err)
+		}
+		for pg := uint64(0); pg < 2; pg++ {
+			idx := base/mem.PageSize + pg
+			as.InstallSharedPage(idx, fc.Frame(idx, fill(byte(0x10+pg))))
+		}
+		spaces[i] = as
+	}
+	if fc.Len() != 2 {
+		t.Fatalf("frame cache holds %d frames, want 2", fc.Len())
+	}
+	for i, as := range spaces {
+		if got := as.SharedResidentPages(); got != 2 {
+			t.Fatalf("clone %d: %d shared pages, want 2", i, got)
+		}
+	}
+
+	// First write in clone 0 breaks exactly one share, there.
+	if err := spaces[0].WriteU64(base, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	if got := spaces[0].SharedResidentPages(); got != 1 {
+		t.Fatalf("clone 0 after write: %d shared pages, want 1", got)
+	}
+	if got := spaces[0].CowBreaks(); got != 1 {
+		t.Fatalf("clone 0 cow breaks = %d, want 1", got)
+	}
+	if spaces[0].PageShared(base / mem.PageSize) {
+		t.Fatal("written page still marked shared")
+	}
+	for i, as := range spaces[1:] {
+		if got := as.SharedResidentPages(); got != 2 {
+			t.Fatalf("clone %d: write in clone 0 broke its share (%d)", i+1, got)
+		}
+		v, err := as.ReadU64(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 0xDEAD {
+			t.Fatalf("clone %d sees clone 0's write through the shared frame", i+1)
+		}
+	}
+	// The shared frame itself is pristine.
+	if frame := fc.Frame(base/mem.PageSize, nil); !bytes.Equal(frame.Data[:8], fill(0x10)[:8]) {
+		t.Fatal("shared frame mutated by a clone write")
+	}
+}

@@ -119,6 +119,13 @@ type AddressSpace struct {
 	// while tracking is on, every store records its page index in dirty.
 	tracking bool
 	dirty    map[uint64]struct{}
+
+	// cow marks resident pages whose *Page frame is shared with other
+	// address spaces (clone fan-out restores the same checkpoint into N
+	// spaces without copying). Reads go through the shared frame; the
+	// first write breaks the share by cloning the frame privately.
+	cow       map[uint64]struct{}
+	cowBreaks uint64
 }
 
 // NewAddressSpace returns an empty address space.
@@ -230,13 +237,36 @@ func (as *AddressSpace) ReadU64(addr uint64) (uint64, error) {
 	return binary.LittleEndian.Uint64(buf[:]), nil
 }
 
+// pageForWrite returns the page containing addr, breaking a
+// copy-on-write share first: a shared frame is cloned into a private
+// page so the store never reaches the clones still reading the shared
+// one. Every mutating path must come through here.
+func (as *AddressSpace) pageForWrite(addr uint64) (*Page, error) {
+	p, err := as.page(addr)
+	if err != nil {
+		return nil, err
+	}
+	idx := addr / PageSize
+	if _, shared := as.cow[idx]; shared {
+		priv := &Page{Data: p.Data, Version: p.Version}
+		delete(as.cow, idx)
+		as.cowBreaks++
+		as.pages[idx] = priv
+		if as.lastIdx == idx {
+			as.lastPage = priv
+		}
+		p = priv
+	}
+	return p, nil
+}
+
 // WriteU64 writes an 8-byte little-endian word.
 func (as *AddressSpace) WriteU64(addr, v uint64) error {
 	if !as.mapped(addr) || !as.mapped(addr+7) {
 		return &FaultError{Addr: addr, Write: true}
 	}
 	if addr%PageSize <= PageSize-8 {
-		p, err := as.page(addr)
+		p, err := as.pageForWrite(addr)
 		if err != nil {
 			return err
 		}
@@ -297,7 +327,7 @@ func (as *AddressSpace) WriteBytes(addr uint64, p []byte) error {
 		if !as.mapped(addr) {
 			return &FaultError{Addr: addr, Write: true}
 		}
-		pg, err := as.page(addr)
+		pg, err := as.pageForWrite(addr)
 		if err != nil {
 			return err
 		}
@@ -344,6 +374,7 @@ func (as *AddressSpace) PageData(idx uint64) ([]byte, bool) {
 // one: the page stays on the source and is fetched on fault).
 func (as *AddressSpace) DropPage(idx uint64) {
 	delete(as.pages, idx)
+	delete(as.cow, idx)
 	if as.lastIdx == idx {
 		as.lastPage = nil
 	}
@@ -357,9 +388,42 @@ func (as *AddressSpace) InstallPage(idx uint64, data []byte) {
 	p.Version = 1
 	as.markDirty(idx)
 	as.pages[idx] = p
+	delete(as.cow, idx)
 	if as.lastIdx == idx {
 		as.lastPage = p
 	}
+}
+
+// InstallSharedPage installs a page frame owned jointly with other
+// address spaces (clone fan-out). The space serves reads from the shared
+// frame and must never mutate it: the first write through pageForWrite
+// clones it privately. The caller promises not to write through p after
+// installing it anywhere.
+func (as *AddressSpace) InstallSharedPage(idx uint64, p *Page) {
+	as.markDirty(idx)
+	as.pages[idx] = p
+	if as.cow == nil {
+		as.cow = make(map[uint64]struct{})
+	}
+	as.cow[idx] = struct{}{}
+	if as.lastIdx == idx {
+		as.lastPage = p
+	}
+}
+
+// SharedResidentPages reports how many resident pages are still
+// copy-on-write shares (installed by InstallSharedPage, not yet written).
+func (as *AddressSpace) SharedResidentPages() int { return len(as.cow) }
+
+// CowBreaks reports how many shared pages this space has privatized on
+// first write.
+func (as *AddressSpace) CowBreaks() uint64 { return as.cowBreaks }
+
+// PageShared reports whether page idx is resident as an unbroken
+// copy-on-write share.
+func (as *AddressSpace) PageShared(idx uint64) bool {
+	_, ok := as.cow[idx]
+	return ok
 }
 
 // ResidentBytes returns the number of bytes in populated pages.
