@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check bench bench-json bench-obs bench-quick fleet-smoke registry-smoke
+.PHONY: build vet lint test race check updatecheck bench bench-json bench-obs bench-quick fleet-smoke registry-smoke
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# updatecheck runs the static cross-version verifier's selftest: every
+# workload binary on both ISAs must pass the stack-map soundness pass,
+# and an identical recompile must classify every function safe (see
+# docs/updatecheck.md). The deliberately-broken-binary corpus is covered
+# by `go test ./internal/updatecheck/`.
+updatecheck:
+	$(GO) run ./cmd/dapper-updatecheck -selftest
+
 # check is the CI gate: compile everything, vet, run the repo's own
-# analyzers, run the full test suite under the race detector, and measure
-# the disabled-telemetry overhead (which must stay cheap enough to leave
-# instrumented code unconditional).
+# analyzers, verify every compiled binary's stack maps, run the full test
+# suite under the race detector, and measure the disabled-telemetry
+# overhead (which must stay cheap enough to leave instrumented code
+# unconditional).
 check:
-	$(GO) build ./... && $(GO) vet ./... && $(MAKE) lint && $(GO) test -race ./... && $(MAKE) bench-obs
+	$(GO) build ./... && $(GO) vet ./... && $(MAKE) lint && $(MAKE) updatecheck && $(GO) test -race ./... && $(MAKE) bench-obs
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -21,6 +21,7 @@ func All() []*analysis.Analyzer {
 		Wallclock,
 		Goreap,
 		Eqpointlock,
+		Journalfsync,
 	}
 }
 

@@ -125,6 +125,73 @@ func f() time.Duration { return time.Since(t0) }`
 import clock "time"
 func f() { _ = clock.Now(); clock.Sleep(0) }`, checks.Wallclock)
 	expect(t, diags, "time.Now")
+
+	// The control-plane packages are in scope too (their reports embed
+	// modeled breakdowns).
+	diags = lint(t, "internal/fleet", src, checks.Wallclock)
+	expect(t, diags, "time.Now", "time.Since")
+	diags = lint(t, "internal/registry", src, checks.Wallclock)
+	expect(t, diags, "time.Now", "time.Since")
+}
+
+func TestJournalfsync(t *testing.T) {
+	// Seeded: temp-file write renamed into place with no Sync — the bytes
+	// were never made durable.
+	diags := lint(t, "internal/registry", `package p
+import "os"
+func writeThing(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "x-*")
+	if err != nil { return err }
+	if _, err := tmp.Write(data); err != nil { return err }
+	if err := tmp.Close(); err != nil { return err }
+	return os.Rename(tmp.Name(), path)
+}`, checks.Journalfsync)
+	expect(t, diags, "never Synced")
+
+	// Compliant: same shape with a Sync before the close.
+	diags = lint(t, "internal/registry", `package p
+import "os"
+func writeThing(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "x-*")
+	if err != nil { return err }
+	if _, err := tmp.Write(data); err != nil { return err }
+	if err := tmp.Sync(); err != nil { return err }
+	if err := tmp.Close(); err != nil { return err }
+	return os.Rename(tmp.Name(), path)
+}`, checks.Journalfsync)
+	expect(t, diags)
+
+	// Seeded: a journal-handle append (the x.f convention) without a Sync
+	// in the same function.
+	diags = lint(t, "internal/fleet", `package p
+func (j *journal) Append(data []byte) error {
+	_, err := j.f.Write(data)
+	return err
+}`, checks.Journalfsync)
+	expect(t, diags, "journal append")
+
+	// Compliant: append then sync.
+	diags = lint(t, "internal/fleet", `package p
+func (j *journal) Append(data []byte) error {
+	if _, err := j.f.Write(data); err != nil { return err }
+	return j.f.Sync()
+}`, checks.Journalfsync)
+	expect(t, diags)
+
+	// Hash and buffer writes never match either pattern.
+	diags = lint(t, "internal/registry", `package p
+func digest(h hasher, parts [][]byte) {
+	for _, p := range parts { h.Write(p) }
+}`, checks.Journalfsync)
+	expect(t, diags)
+
+	// Out-of-scope packages are untouched even for the seeded shape.
+	diags = lint(t, "internal/criu", `package p
+func (j *journal) Append(data []byte) error {
+	_, err := j.f.Write(data)
+	return err
+}`, checks.Journalfsync)
+	expect(t, diags)
 }
 
 func TestGoreap(t *testing.T) {

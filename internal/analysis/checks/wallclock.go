@@ -14,11 +14,17 @@ import (
 // breakdowns — so host wall-clock reads in these packages are either a
 // bug or a deliberately-separated host-side measurement (RecodeHost),
 // which carries a //lint:ignore with that reason.
+//
+// internal/fleet and internal/registry are in scope too: their *results*
+// (reports, journals) embed migration breakdowns that must stay modeled,
+// while their *control plane* (backoff timers, heartbeat ages, uptime)
+// legitimately runs on host time — each such site carries a //lint:ignore
+// stating why the read cannot leak into a modeled figure.
 var Wallclock = &analysis.Analyzer{
 	Name:      "wallclock",
 	Doc:       "no time.Now/time.Since in modeled-timing packages",
 	SkipTests: true,
-	Packages:  []string{"internal/cluster", "internal/vm"},
+	Packages:  []string{"internal/cluster", "internal/vm", "internal/fleet", "internal/registry"},
 	Run: func(p *analysis.Pass) {
 		for _, f := range p.Files {
 			timeName := importName(f, "time")

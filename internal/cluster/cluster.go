@@ -30,6 +30,7 @@ import (
 	"github.com/dapper-sim/dapper/internal/obs"
 	"github.com/dapper-sim/dapper/internal/registry"
 	"github.com/dapper-sim/dapper/internal/stackmap"
+	"github.com/dapper-sim/dapper/internal/updatecheck"
 )
 
 // NodeSpec describes one machine.
@@ -403,6 +404,13 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	//lint:ignore wallclock RecodeHost is real host time by definition, reported separately and never part of modeled downtime
 	bd.RecodeHost = time.Since(hostStart)
 	bd.Recode = RecodeTime(recodeNode, dir.Size())
+	// Source-side version-skew pre-flight: the rewritten image must resolve
+	// against the exact binary the destination restores into (thread PCs at
+	// known sites, return addresses at known call sites). Catching skew here
+	// refuses the migration before any bytes ship.
+	if err := verifyShipTarget(dir, src.Binaries); err != nil {
+		return nil, fmt.Errorf("cluster: recode pre-flight: %w", err)
+	}
 
 	// 3. Copy images over the link (scp). With a batch codec the blob
 	// round-trips the real v3 stream encoder — the exact bytes a TCP
@@ -566,6 +574,33 @@ func rewriteForDest(dir *criu.ImageDir, src, dst *Node, opts MigrateOpts, onFile
 			return err
 		}
 		dst.Binaries.Register(files.ExePath, bin)
+	}
+	return nil
+}
+
+// verifyShipTarget runs updatecheck's image-vs-binary pass (via imgcheck)
+// against the binary the image's files entry names — the one the
+// destination will open at restore.
+func verifyShipTarget(dir *criu.ImageDir, bins criu.BinaryProvider) error {
+	filesRaw, ok := dir.Get("files.img")
+	if !ok {
+		return fmt.Errorf("image directory missing files.img")
+	}
+	files, err := criu.UnmarshalFiles(filesRaw)
+	if err != nil {
+		return err
+	}
+	bin, err := bins.Open(files.ExePath)
+	if err != nil {
+		return err
+	}
+	if bin.Meta == nil {
+		return nil
+	}
+	if err := imgcheck.VerifyTargetBinary(dir, &updatecheck.Binary{
+		Arch: bin.Arch, Text: bin.Text, Symbols: bin.Symbols, Meta: bin.Meta,
+	}); err != nil {
+		return fmt.Errorf("image/binary version skew for %q: %w", files.ExePath, err)
 	}
 	return nil
 }

@@ -1,0 +1,44 @@
+package cluster_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/cluster"
+	"github.com/dapper-sim/dapper/internal/compiler"
+)
+
+// TestMigrateRefusesVersionSkew: if the binary registered at the image's
+// exe path is not the build the process is actually running (a stale or
+// mismatched deployment), Migrate must refuse on the source side — the
+// updatecheck pass-3 pre-flight after recode — before any bytes ship.
+func TestMigrateRefusesVersionSkew(t *testing.T) {
+	// Same-arch migration: the recode stage is a no-op, so the pre-flight
+	// is the only line of defense on the source side.
+	xeon, _, pair := setup(t)
+	xeon2 := cluster.NewNode(cluster.XeonSpec)
+	xeon2.Install("work", pair)
+	p, err := xeon.Start("work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xeon.K.RunBudget(p, 200_000); err != nil {
+		t.Fatal(err)
+	}
+	// Silently swap the deployed binary for a different build: the classic
+	// version-skew deployment bug.
+	skew, err := compiler.Compile(`func main() { printi(1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path := range xeon.Binaries {
+		xeon.Binaries.Register(path, skew.ByArch(xeon.Binaries[path].Arch))
+	}
+	_, err = cluster.Migrate(xeon, xeon2, p, pair.Meta, cluster.MigrateOpts{})
+	if err == nil {
+		t.Fatal("migration shipped a version-skewed image")
+	}
+	if !strings.Contains(err.Error(), "version skew") || !strings.Contains(err.Error(), "recode pre-flight") {
+		t.Errorf("want the recode pre-flight's version-skew error, got: %v", err)
+	}
+}

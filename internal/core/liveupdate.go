@@ -7,6 +7,7 @@ import (
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/mem"
 	"github.com/dapper-sim/dapper/internal/stackmap"
+	"github.com/dapper-sim/dapper/internal/updatecheck"
 )
 
 // LiveUpdatePolicy implements dynamic software update (DSU), one of the
@@ -38,68 +39,15 @@ var _ Policy = LiveUpdatePolicy{}
 
 // UpdateCompatibility checks that new can adopt process state produced by
 // old. It returns nil when every function and global of old is
-// state-compatible in new.
+// state-compatible in new. The verdict comes from the updatecheck
+// cross-version classifier (pass 2): every function must classify safe
+// or identity-mappable — today's executor transfers state by slot id
+// with no mapping table — and the global layout must be unchanged.
 func UpdateCompatibility(oldBin, newBin binaryInfo) error {
-	oldMeta, newMeta := oldBin.metadata(), newBin.metadata()
-	for _, of := range oldMeta.Funcs {
-		nf, ok := newMeta.FuncByName(of.Name)
-		if !ok {
-			return fmt.Errorf("core: update removes function %q", of.Name)
-		}
-		if of.NumParams != nf.NumParams {
-			return fmt.Errorf("core: update changes arity of %q", of.Name)
-		}
-		if err := compatibleSites(of.Name, of.EntrySite, nf.EntrySite); err != nil {
-			return err
-		}
-		if len(of.CallSites) != len(nf.CallSites) {
-			return fmt.Errorf("core: update changes call structure of %q (%d -> %d sites)",
-				of.Name, len(of.CallSites), len(nf.CallSites))
-		}
-		for i := range of.CallSites {
-			if err := compatibleSites(of.Name, of.CallSites[i], nf.CallSites[i]); err != nil {
-				return err
-			}
-		}
-		for i := range of.Slots {
-			os := &of.Slots[i]
-			ns, ok := nf.SlotByID(os.ID)
-			if !ok || ns.Size != os.Size || ns.Ptr != os.Ptr {
-				return fmt.Errorf("core: update changes slot %d of %q", os.ID, of.Name)
-			}
-		}
-	}
-	for name, addr := range oldBin.symbols() {
-		if naddr, ok := newBin.symbols()[name]; ok && isData(addr) && naddr != addr {
-			return fmt.Errorf("core: update moves global %q (0x%x -> 0x%x)", name, addr, naddr)
-		} else if !ok && isData(addr) {
-			return fmt.Errorf("core: update removes global %q", name)
-		}
-	}
-	return nil
-}
-
-func isData(addr uint64) bool { return addr >= isa.DataBase && addr < isa.HeapBase }
-
-func compatibleSites(fn string, o, n *stackmap.Site) error {
-	if o == nil || n == nil {
-		if o != n {
-			return fmt.Errorf("core: update drops a site in %q", fn)
-		}
-		return nil
-	}
-	if o.ID != n.ID || o.Kind != n.Kind {
-		return fmt.Errorf("core: update renumbers site %d in %q", o.ID, fn)
-	}
-	if len(o.Live) != len(n.Live) {
-		return fmt.Errorf("core: update changes live set at site %d in %q", o.ID, fn)
-	}
-	for i := range o.Live {
-		if o.Live[i].SlotID != n.Live[i].SlotID || o.Live[i].Ptr != n.Live[i].Ptr {
-			return fmt.Errorf("core: update changes live value %d at site %d in %q", i, o.ID, fn)
-		}
-	}
-	return nil
+	return updatecheck.Compatible(
+		&updatecheck.Binary{Meta: oldBin.metadata(), Symbols: oldBin.symbols()},
+		&updatecheck.Binary{Meta: newBin.metadata(), Symbols: newBin.symbols()},
+	)
 }
 
 // binaryInfo decouples the compatibility check from the compiler package
@@ -146,6 +94,13 @@ func (p LiveUpdatePolicy) Rewrite(dir *criu.ImageDir, ctx *Context) error {
 	}
 	if newBin.Arch != inv.Arch {
 		return fmt.Errorf("core: patched binary is %v but process is %v", newBin.Arch, inv.Arch)
+	}
+	// Pre-flight the patched binary's own metadata before trusting it to
+	// drive a rewrite: a broken stack map would corrupt state silently.
+	if err := updatecheck.VerifyBinary(&updatecheck.Binary{
+		Arch: newBin.Arch, Text: newBin.Text, Symbols: newBin.Symbols, Meta: newBin.Meta,
+	}); err != nil {
+		return fmt.Errorf("core: patched binary fails updatecheck: %w", err)
 	}
 	if err := UpdateCompatibility(
 		binInfo{oldBin.Meta, oldBin.Symbols},

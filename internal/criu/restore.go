@@ -8,6 +8,7 @@ import (
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/updatecheck"
 )
 
 // BinaryProvider resolves executable paths (from the files image) to
@@ -96,6 +97,14 @@ func RestoreWith(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider, opts 
 		// The rewriter trusts the stack map's cross-ISA address alignment;
 		// verify it before nudging any thread through SiteByTrapPC.
 		if err := imgcheck.VerifyMeta(bin.Meta); err != nil {
+			return nil, fmt.Errorf("criu: restore pre-flight: binary %q: %w", files.ExePath, err)
+		}
+		// And the image must actually belong to this binary: thread PCs
+		// and stack return addresses that resolve nowhere in its stack
+		// maps mean version skew, best rejected before pages install.
+		if err := imgcheck.VerifyTargetBinary(dir, &updatecheck.Binary{
+			Arch: bin.Arch, Text: bin.Text, Symbols: bin.Symbols, Meta: bin.Meta,
+		}); err != nil {
 			return nil, fmt.Errorf("criu: restore pre-flight: binary %q: %w", files.ExePath, err)
 		}
 	}

@@ -1,0 +1,50 @@
+package criu_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/kernel"
+)
+
+// tinyProg is deliberately much smaller than denseWriter: a checkpoint of
+// denseWriter has thread PCs beyond tinyProg's text, so restoring into it
+// is unambiguous version skew.
+const tinyProg = `
+func main() {
+	printi(1);
+}
+`
+
+// TestRestoreRefusesVersionSkew: an image dumped under one binary,
+// restored with a provider serving a *different* build at the same exe
+// path, must be refused by the updatecheck pass-3 pre-flight — thread PCs
+// that resolve nowhere in the target's stack maps — not restored into a
+// process that would execute garbage.
+func TestRestoreRefusesVersionSkew(t *testing.T) {
+	dir, _ := pausedDump(t)
+	skew, err := compiler.Compile(tinyProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := criu.MapProvider{"/bin/inc.sx86": skew.X86}
+	k := kernel.New(kernel.Config{Cores: 2})
+	if _, err := criu.Restore(k, dir, prov); err == nil {
+		t.Fatal("restore into a version-skewed binary succeeded")
+	} else if !strings.Contains(err.Error(), "image-pc") && !strings.Contains(err.Error(), "image-stack") {
+		t.Errorf("want an image-pc/image-stack invariant, got: %v", err)
+	}
+}
+
+// TestRestoreAcceptsMatchingBinary is the control: the same dump restores
+// fine under the binary that produced it (the pass-3 check is not just
+// rejecting everything).
+func TestRestoreAcceptsMatchingBinary(t *testing.T) {
+	dir, prov := pausedDump(t)
+	k := kernel.New(kernel.Config{Cores: 2})
+	if _, err := criu.Restore(k, dir, prov); err != nil {
+		t.Fatalf("restore under the dumping binary failed: %v", err)
+	}
+}

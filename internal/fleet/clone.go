@@ -117,8 +117,10 @@ func (m *Manager) pickCloneTarget(job *Job) *NodeState {
 // transition, mirroring runJob.
 func (m *Manager) runCloneJob(job *Job, dst *NodeState) {
 	defer m.wg.Done()
+	//lint:ignore wallclock host busy-time for slot utilization accounting; feeds fleet.attempt_host_ns, never a modeled breakdown
 	start := time.Now()
 	err := m.attemptClone(job, dst)
+	//lint:ignore wallclock host busy-time for slot utilization accounting; feeds fleet.attempt_host_ns, never a modeled breakdown
 	busy := time.Since(start)
 	dst.release(busy)
 	m.jobSlots.Release()
@@ -190,6 +192,7 @@ func (m *Manager) settleClone(job *Job, dst *NodeState, err error) {
 		job.State = Pending
 		job.Retries++
 		job.Err = err.Error()
+		//lint:ignore wallclock retry backoff is host-side scheduling; the modeled migration clock never sees it
 		job.notBefore = time.Now().Add(m.backoffFor(job.Attempts))
 		m.reg.Counter("fleet.retries").Inc()
 		if jerr := m.journal.Append(Event{Type: "retry", Job: job.ID, Err: err.Error()}); jerr != nil {

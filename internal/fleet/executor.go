@@ -40,8 +40,10 @@ const maxPauses = 1 << 20
 // runJob is the executor goroutine: one attempt, then state transition.
 func (m *Manager) runJob(job *Job, src, dst *NodeState, attempt int) {
 	defer m.wg.Done()
+	//lint:ignore wallclock host busy-time for slot utilization accounting; feeds fleet.attempt_host_ns, never a modeled breakdown
 	start := time.Now()
 	err := m.attempt(job, src, dst, attempt)
+	//lint:ignore wallclock host busy-time for slot utilization accounting; feeds fleet.attempt_host_ns, never a modeled breakdown
 	busy := time.Since(start)
 	src.release(busy)
 	dst.release(busy)
@@ -78,6 +80,7 @@ func (m *Manager) settle(job *Job, src, dst *NodeState, err error) {
 		job.State = Pending
 		job.Retries++
 		job.Err = err.Error()
+		//lint:ignore wallclock retry backoff is host-side scheduling; the modeled migration clock never sees it
 		job.notBefore = time.Now().Add(m.backoffFor(job.Attempts))
 		m.reg.Counter("fleet.retries").Inc()
 		if jerr := m.journal.Append(Event{Type: "retry", Job: job.ID, Err: err.Error()}); jerr != nil {

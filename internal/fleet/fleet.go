@@ -42,6 +42,7 @@ import (
 	"github.com/dapper-sim/dapper/internal/obs"
 	"github.com/dapper-sim/dapper/internal/parallel"
 	"github.com/dapper-sim/dapper/internal/registry"
+	"github.com/dapper-sim/dapper/internal/updatecheck"
 	"github.com/dapper-sim/dapper/internal/workloads"
 )
 
@@ -353,6 +354,16 @@ func (m *Manager) registerLocked(p *program, journal bool) error {
 	if err != nil {
 		return fmt.Errorf("fleet: compile program %q: %w", p.name, err)
 	}
+	// A program whose stack maps fail static soundness would poison every
+	// migration that ever targets it; refuse registration up front, on
+	// both architectures.
+	for _, b := range []*compiler.Binary{pair.X86, pair.ARM} {
+		if err := updatecheck.VerifyBinary(&updatecheck.Binary{
+			Arch: b.Arch, Text: b.Text, Symbols: b.Symbols, Meta: b.Meta,
+		}); err != nil {
+			return fmt.Errorf("fleet: program %q fails updatecheck on %v: %w", p.name, b.Arch, err)
+		}
+	}
 	p.pair = pair
 	p.refCycles = map[isa.Arch]uint64{}
 	m.mu.Lock()
@@ -485,6 +496,7 @@ func (m *Manager) Start() error {
 		}
 	}
 	m.jobSlots = parallel.NewSemaphore(maxJobs)
+	//lint:ignore wallclock daemon start stamp for the uptime figure, reported as host time by design
 	m.start = time.Now()
 	m.started = true
 	m.wg.Add(2)
@@ -516,6 +528,7 @@ func (m *Manager) Stop() error {
 // WaitIdle blocks until every submitted job is terminal (Done or
 // Failed) or the timeout elapses.
 func (m *Manager) WaitIdle(timeout time.Duration) error {
+	//lint:ignore wallclock WaitIdle is a host-side test/ops timeout, not a modeled duration
 	deadline := time.Now().Add(timeout)
 	for {
 		m.mu.Lock()
@@ -529,6 +542,7 @@ func (m *Manager) WaitIdle(timeout time.Duration) error {
 		if busy == 0 {
 			return nil
 		}
+		//lint:ignore wallclock WaitIdle is a host-side test/ops timeout, not a modeled duration
 		if time.Now().After(deadline) {
 			return fmt.Errorf("fleet: %d jobs still active after %v", busy, timeout)
 		}
@@ -618,6 +632,7 @@ func eligible(n *NodeState) bool {
 // job: source slot, then destination slot, then a fleet-wide slot; any
 // miss releases what was taken and leaves the job pending.
 func (m *Manager) schedule() {
+	//lint:ignore wallclock scheduler scan compares host-side retry-backoff deadlines; modeled time is untouched
 	now := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -269,9 +269,13 @@ func (s *Store) Push(dir *image.ImageDir, opts PushOpts) (*Manifest, PushStats, 
 	return m, stats, nil
 }
 
-// writeChunk lands a chunk file atomically: temp file in the same
-// directory, then rename. Chunk integrity is re-verified by hash on
-// every pull, so a torn write is detected, never silently served.
+// writeChunk lands a chunk file atomically AND durably: temp file in the
+// same directory, fsync, then rename. The fsync is load-bearing — the
+// journal acknowledges the manifest referencing this chunk immediately
+// after, and rename only makes the *name* durable; without syncing the
+// bytes a crash could leave a journaled manifest pointing at an empty or
+// torn chunk. (Integrity is still re-verified by hash on every pull, so
+// the failure would be detected — but the checkpoint would be lost.)
 func writeChunk(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".chunk-*")
 	if err != nil {
@@ -279,6 +283,11 @@ func writeChunk(path string, data []byte) error {
 	}
 	if _, err := tmp.Write(data); err != nil {
 		_ = tmp.Close() // surfacing the write error; close is cleanup
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("registry: write chunk: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
 		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("registry: write chunk: %w", err)
 	}

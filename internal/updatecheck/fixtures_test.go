@@ -1,0 +1,118 @@
+package updatecheck_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/compiler"
+	"github.com/dapper-sim/dapper/internal/updatecheck"
+)
+
+// The broken-binary corpus: each .delf under testdata carries exactly one
+// deliberate defect, and the checker must reject it naming the expected
+// invariant. Regenerate with `go run gen_fixtures.go` in testdata/.
+var soundnessFixtures = map[string]string{
+	"dangling-site":    updatecheck.InvRetSite,
+	"mislabeled-ptr":   updatecheck.InvPtrAgree,
+	"unreachable-site": updatecheck.InvSiteReach,
+	"trap-op":          updatecheck.InvTrapOp,
+	"site-range":       updatecheck.InvSiteRange,
+	"entry-live":       updatecheck.InvEntryLive,
+	"slot-offset-skew": updatecheck.InvSlotAccess,
+	"slot-overlap":     updatecheck.InvSlotRange,
+	"quiescence-spin":  updatecheck.InvQuiescence,
+	"branch-range":     updatecheck.InvBranchRange,
+	"ret-site-shift":   updatecheck.InvRetSite,
+	"missing-checker":  updatecheck.InvEntryChecker,
+}
+
+// diffFixtures are old/new pairs fed to the cross-version pass.
+var diffFixtures = map[string]string{
+	"global-moved":   updatecheck.InvGlobalMoved,
+	"global-removed": updatecheck.InvGlobalRemoved,
+}
+
+func loadFixture(t *testing.T, name string) *updatecheck.Binary {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("testdata", name+".delf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := compiler.UnmarshalBinary(blob)
+	if err != nil {
+		t.Fatalf("unmarshal %s: %v", name, err)
+	}
+	return toBin(b)
+}
+
+func TestBrokenBinaryCorpus(t *testing.T) {
+	for name, inv := range soundnessFixtures {
+		name, inv := name, inv
+		t.Run(name, func(t *testing.T) {
+			r := updatecheck.CheckBinary(loadFixture(t, name))
+			if len(r.Violations) == 0 {
+				t.Fatalf("%s verified clean, want %s violation", name, inv)
+			}
+			if !hasInvariant(r.Violations, inv) {
+				t.Errorf("%s: want invariant %s, got %v", name, inv, r.Err())
+			}
+		})
+	}
+}
+
+func TestDiffFixtureCorpus(t *testing.T) {
+	for name, inv := range diffFixtures {
+		name, inv := name, inv
+		t.Run(name, func(t *testing.T) {
+			oldB := loadFixture(t, name+".old")
+			newB := loadFixture(t, name+".new")
+			d := updatecheck.Diff(oldB, newB)
+			if !hasInvariant(d.Globals, inv) {
+				t.Errorf("%s: want global invariant %s, got %v", name, inv, d.Globals)
+			}
+			if err := updatecheck.Compatible(oldB, newB); err == nil {
+				t.Errorf("%s: Compatible accepted a %s layout", name, inv)
+			}
+		})
+	}
+}
+
+// TestCorpusComplete keeps the committed corpus and the expectation maps
+// in lockstep: no stray fixture, no missing file.
+func TestCorpusComplete(t *testing.T) {
+	ents, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".delf") {
+			continue
+		}
+		onDisk[strings.TrimSuffix(name, ".delf")] = true
+	}
+	want := map[string]bool{}
+	for name := range soundnessFixtures {
+		want[name] = true
+	}
+	for name := range diffFixtures {
+		want[name+".old"] = true
+		want[name+".new"] = true
+	}
+	for name := range want {
+		if !onDisk[name] {
+			t.Errorf("expected fixture %s.delf missing from testdata", name)
+		}
+	}
+	for name := range onDisk {
+		if !want[name] {
+			t.Errorf("stray fixture %s.delf has no expectation", name)
+		}
+	}
+	if len(onDisk) < 10 {
+		t.Errorf("corpus holds %d fixtures, want at least 10", len(onDisk))
+	}
+}
