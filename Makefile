@@ -48,15 +48,18 @@ bench-json:
 # bench-quick exercises the parallel-pipeline benchmarks one iteration
 # each under the race detector (Workers=NumCPU fans out on CI's
 # multicore runners) and regenerates the parpipe table — serial vs
-# parallel host time per stage plus dedup savings — and the wirecodec
+# parallel host time per stage plus dedup savings — the wirecodec
 # table — bytes-on-wire for raw vs batched vs flate vs delta+flate on a
 # live pre-copy; the run itself fails if the codec stack saves nothing —
-# as JSON for the CI artifacts.
+# and the restore table — serial vs streamed vs streamed+workers
+# downtime on rediska; it hard-fails if the overlap never engages or any
+# worker count changes the restored bytes — as JSON for the CI artifacts.
 bench-quick:
 	$(GO) test -race -run=^$$ -bench='DumpParallel|RewriteThreads|ImgcheckVerify' -benchtime=1x .
 	$(GO) run ./cmd/dapper-bench -jsonout BENCH_parpipe.json parpipe
 	$(GO) run ./cmd/dapper-bench -jsonout BENCH_wirecodec.json wirecodec
 	$(GO) run ./cmd/dapper-bench -jsonout BENCH_fleet.json fleet
+	$(GO) run ./cmd/dapper-bench -jsonout BENCH_restore.json restore
 
 # fleet-smoke gates the control plane: the fleet package's deterministic
 # fault-injection tests (retry, rollback, journal resume, drain,

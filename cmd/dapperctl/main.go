@@ -277,11 +277,13 @@ func cmdMigrate(args []string) error {
 	shuffle := fs.Bool("shuffle", false, "also re-randomize the stack layout during the rewrite")
 	codec := fs.String("codec", "raw", "wire codec: raw (legacy framing), none (batched), flate (batched+compressed)")
 	delta := fs.Bool("delta", false, "XOR-delta encode re-dirtied pre-copy pages (requires -precopy)")
+	stream := fs.Bool("stream", false, "streamed restore: decode/verify/install while the image is still arriving (requires a batched -codec)")
+	workers := fs.Int("workers", 0, "worker bound for the parallel pipeline stages (0 = NumCPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: dapperctl migrate [-at F] [-lazy|-precopy] [-codec C] [-delta] src.delf dst.delf")
+		return fmt.Errorf("usage: dapperctl migrate [-at F] [-lazy|-precopy] [-codec C] [-delta] [-stream] src.delf dst.delf")
 	}
 	if *lazy && *precopy {
 		return fmt.Errorf("-lazy and -precopy are mutually exclusive")
@@ -292,6 +294,14 @@ func cmdMigrate(args []string) error {
 	wireCodec, err := fleet.ParseCodec(*codec)
 	if err != nil {
 		return err
+	}
+	if *stream {
+		if *lazy || *precopy {
+			return fmt.Errorf("-stream applies to vanilla migrations only")
+		}
+		if !wireCodec.Batched() {
+			return fmt.Errorf("-stream requires a batched -codec (none or flate)")
+		}
 	}
 	srcNode, p, srcBin, err := startAndRunTo(fs.Arg(0), *at)
 	if err != nil {
@@ -309,6 +319,7 @@ func cmdMigrate(args []string) error {
 	opts := cluster.MigrateOpts{
 		Lazy: *lazy, Shuffle: *shuffle, ShuffleSeed: 1,
 		Codec: wireCodec, Delta: *delta,
+		StreamRestore: *stream, Workers: *workers,
 	}
 	if *precopy {
 		opts.PreCopy = &cluster.PreCopyOpts{}

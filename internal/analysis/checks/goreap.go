@@ -33,7 +33,7 @@ var Goreap = &analysis.Analyzer{
 	Name:      "goreap",
 	Doc:       "goroutines in transport packages need a join/reap path",
 	SkipTests: true,
-	Packages:  []string{"internal/criu", "internal/cluster", "internal/parallel", "internal/fleet", "internal/registry"},
+	Packages:  []string{"internal/criu", "internal/cluster", "internal/parallel", "internal/fleet", "internal/registry", "internal/image"},
 	Run: func(p *analysis.Pass) {
 		for _, f := range p.Files {
 			eachFuncBody(f, func(body *ast.BlockStmt) {

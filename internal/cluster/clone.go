@@ -79,7 +79,7 @@ func CloneFromRegistry(store *registry.Store, manifest string, targets []*Node, 
 	restoreStart := time.Now()
 	pool := parallel.New(opts.Workers)
 	if err := pool.ForEach(len(targets), func(i int) error {
-		p, err := criu.RestoreWith(targets[i].K, dir, targets[i].Binaries, criu.RestoreOpts{Frames: res.Frames})
+		p, err := criu.RestoreWith(targets[i].K, dir, targets[i].Binaries, criu.RestoreOpts{Frames: res.Frames, Workers: opts.Workers, Obs: opts.Obs})
 		if err != nil {
 			return fmt.Errorf("cluster: clone %d on %s: %w", i, targets[i].Spec.Name, err)
 		}

@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -138,6 +139,14 @@ type Breakdown struct {
 	// Rounds counts checkpoints taken: 1 for vanilla/lazy, iterative
 	// rounds plus the final delta for pre-copy.
 	Rounds int
+	// StreamSegments and StreamBatches describe the realized restore
+	// pipeline of a StreamRestore migration (zero otherwise): wire
+	// segments delivered to the streaming decoder, and page batches the
+	// background installer consumed. Batches >= 2 with Segments >= 2
+	// proves pages were installing while later segments were still on
+	// the wire — the overlap the downtime model credits.
+	StreamSegments int
+	StreamBatches  int
 	// RoundBytes records each pre-copy round's transferred bytes
 	// (including the final delta).
 	RoundBytes []uint64
@@ -214,6 +223,16 @@ type MigrateOpts struct {
 	// peers interoperate. Restored images are byte-identical across all
 	// settings; only Breakdown.WireBytes changes.
 	Codec criu.Codec
+	// StreamRestore overlaps the copy and restore phases: the image
+	// streams through the v3 wire framing straight into a
+	// criu.StreamRestorer, which verifies metadata, maps the address
+	// space, and installs page batches on a background worker while later
+	// segments are still in flight (see docs/perf.md, "restore
+	// pipeline"). Downtime is then modeled as checkpoint + recode +
+	// max(copy, restore) instead of their sum. Restored state is
+	// byte-identical to a non-streamed migration. Requires a batched
+	// Codec; incompatible with Lazy, PreCopy, and Registry.
+	StreamRestore bool
 	// Delta enables XOR-delta encoding of re-dirtied pages in pre-copy
 	// rounds (requires PreCopy): a page the chain already holds ships as
 	// the XOR against the chain's content — mostly zeros for small
@@ -366,6 +385,14 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	if opts.Registry != nil && (opts.Lazy || opts.PreCopy != nil) {
 		return nil, fmt.Errorf("cluster: registry transfer supports vanilla migrations only")
 	}
+	if opts.StreamRestore {
+		if opts.Lazy || opts.PreCopy != nil || opts.Registry != nil {
+			return nil, fmt.Errorf("cluster: streamed restore supports vanilla wire migrations only")
+		}
+		if !opts.Codec.Batched() {
+			return nil, fmt.Errorf("cluster: streamed restore requires a batched wire codec (CodecNone or CodecFlate)")
+		}
+	}
 	if opts.PreCopy != nil {
 		if opts.Lazy {
 			return nil, fmt.Errorf("cluster: pre-copy is incompatible with lazy migration")
@@ -420,6 +447,7 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	// and pre-flights the materialized directory.
 	var dir2 *criu.ImageDir
 	var manifest string
+	var p2 *kernel.Process
 	if opts.Registry != nil {
 		m, pst, err := opts.Registry.Push(dir, registry.PushOpts{Owner: opts.RegistryOwner})
 		if err != nil {
@@ -439,7 +467,40 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 		if err := imgcheck.VerifyWith(dir2, imgcheck.Opts{Workers: opts.Workers}); err != nil {
 			return nil, fmt.Errorf("cluster: registry pull pre-flight: %w", err)
 		}
-	} else if blob := sh.marshal(dir, opts.Workers); opts.Codec.Batched() {
+	} else if blob := sh.marshal(dir, opts.Workers); opts.StreamRestore {
+		// Streamed pipeline: the sender's v3 stream feeds the restorer
+		// through a pipe, so receive/decode, incremental verify, and
+		// parallel page install all overlap. The restore is complete when
+		// Finish returns; step 4 below only attributes modeled time.
+		bd.ImageBytes = uint64(len(blob))
+		sr := criu.NewStreamRestorer(dst.K, dst.Binaries, criu.RestoreOpts{Workers: opts.Workers, Obs: opts.Obs})
+		pr, pw := io.Pipe()
+		var wire uint64
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, werr := writeImageStream(pw, blob, opts.Codec, 0, opts.Obs)
+			wire = w
+			pw.CloseWithError(werr)
+		}()
+		segs, rerr := readImageStreamInto(pr, sr)
+		// Unblock the writer if the reader bailed early, then join it so
+		// wire is settled before we read it.
+		pr.CloseWithError(rerr)
+		wg.Wait()
+		p2, err = sr.Finish()
+		if rerr != nil {
+			return nil, fmt.Errorf("cluster: transfer: %w", rerr)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cluster: restore: %w", err)
+		}
+		bd.WireBytes = wire
+		bd.StreamSegments = segs
+		bd.StreamBatches = sr.Stats().Batches
+		dir2 = sr.Dir()
+	} else if opts.Codec.Batched() {
 		bd.ImageBytes = uint64(len(blob))
 		var buf bytes.Buffer
 		wire, err := writeImageStream(&buf, blob, opts.Codec, 0, opts.Obs)
@@ -460,27 +521,46 @@ func Migrate(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, opts Mi
 	}
 	bd.Copy = link.TransferTime(bd.WireBytes)
 
-	// 4. Restore on the destination node.
-	p2, err := criu.Restore(dst.K, dir2, dst.Binaries)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: restore: %w", err)
+	// 4. Restore on the destination node. The streamed pipeline already
+	// restored while receiving; non-streamed paths restore here from the
+	// materialized directory.
+	if p2 == nil {
+		p2, err = criu.RestoreWith(dst.K, dir2, dst.Binaries, criu.RestoreOpts{Workers: opts.Workers, Obs: opts.Obs})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: restore: %w", err)
+		}
 	}
 	bd.Restore = RestoreTime(dir2.Size(), opts.Lazy)
 	// Vanilla and lazy pause the process for the whole pipeline. Like the
 	// pre-copy path, downtime sums the modeled phases only — host wall
-	// clock never leaks in, so replays report identical downtime.
-	bd.Downtime = bd.Total()
+	// clock never leaks in, so replays report identical downtime. The
+	// streamed pipeline overlaps copy with restore, so its downtime
+	// charges only the longer of the two.
+	if opts.StreamRestore {
+		bd.Downtime = bd.Checkpoint + bd.Recode + OverlappedCopyRestore(bd.Copy, bd.Restore)
+	} else {
+		bd.Downtime = bd.Total()
+	}
 	bd.Rounds = 1
 
 	// Span tree: vanilla/lazy migrations are all downtime, so the root's
-	// single child covers it exactly.
+	// single child covers it exactly. A streamed restore groups copy and
+	// restore under one overlapped stage whose duration is their max, so
+	// the downtime span's children still sum exactly to its duration.
 	reg := opts.Obs
 	root := reg.NewSpan("migration")
 	dt := root.Child("downtime")
 	dt.Child("checkpoint").Finish(bd.Checkpoint)
 	dt.Child("recode").Finish(bd.Recode)
-	dt.Child("copy").Finish(bd.Copy)
-	dt.Child("restore").Finish(bd.Restore)
+	if opts.StreamRestore {
+		xfer := dt.Child("xfer_restore")
+		xfer.Child("copy").Finish(bd.Copy)
+		xfer.Child("restore").Finish(bd.Restore)
+		xfer.Finish(OverlappedCopyRestore(bd.Copy, bd.Restore))
+	} else {
+		dt.Child("copy").Finish(bd.Copy)
+		dt.Child("restore").Finish(bd.Restore)
+	}
 	dt.Finish(bd.Downtime)
 	root.Finish(bd.MigrationTime())
 	reg.Counter("migrate.count").Inc()

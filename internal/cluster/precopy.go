@@ -270,7 +270,7 @@ func migratePreCopy(src, dst *Node, p *kernel.Process, meta *stackmap.Metadata, 
 	// Earlier rounds were recoded as they streamed in (PreCopyTime); the
 	// pause pays the per-image stack rewrite plus the final delta's pages.
 	bd.Recode = RecodeTime(recodeNode, finalBytes)
-	p2, err := criu.Restore(dst.K, flat, dst.Binaries)
+	p2, err := criu.RestoreWith(dst.K, flat, dst.Binaries, criu.RestoreOpts{Workers: opts.Workers, Obs: opts.Obs})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: pre-copy restore: %w", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/dapper-sim/dapper/internal/criu"
+	"github.com/dapper-sim/dapper/internal/image"
 	"github.com/dapper-sim/dapper/internal/obs"
 )
 
@@ -170,6 +171,90 @@ func readImageDirFrom(r io.Reader) (*criu.ImageDir, error) {
 		}
 	}
 	return criu.UnmarshalImageDir(blob)
+}
+
+// readImageStreamInto reads one image transfer — either framing — and
+// feeds it to sink incrementally: each v3 segment is decoded and handed
+// to an image.StreamSplitter the moment it arrives, so the consumer sees
+// completed files (metadata first, by sort order) while later segments
+// are still on the wire. It returns the number of wire segments
+// delivered; a legacy-framed transfer is read whole and fed as one
+// piece, counting as a single segment. On error the sink may have been
+// fed a prefix; the caller owns cleanup of any consumer state.
+func readImageStreamInto(r io.Reader, sink image.StreamSink) (int, error) {
+	sp := image.NewStreamSplitter(sink)
+	var pre [8]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return 0, err
+	}
+	if string(pre[:4]) != imageMagic {
+		n := binary.BigEndian.Uint64(pre[:])
+		if n > maxImageBytes {
+			return 0, fmt.Errorf("cluster: image of %d bytes exceeds limit", n)
+		}
+		blob, err := readBounded(r, n)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := sp.Write(blob); err != nil {
+			return 0, err
+		}
+		return 1, sp.Close()
+	}
+	if pre[5] != 0 || pre[6] != 0 || pre[7] != 0 {
+		return 0, fmt.Errorf("cluster: image stream: nonzero header padding")
+	}
+	if hdrCodec := criu.Codec(pre[4]); !hdrCodec.Batched() {
+		return 0, fmt.Errorf("cluster: image stream: bad codec %s", hdrCodec)
+	}
+	var tot [8]byte
+	if _, err := io.ReadFull(r, tot[:]); err != nil {
+		return 0, err
+	}
+	rawTotal := binary.BigEndian.Uint64(tot[:])
+	if rawTotal > maxImageBytes {
+		return 0, fmt.Errorf("cluster: image of %d bytes exceeds limit", rawTotal)
+	}
+	segments := 0
+	var fed uint64
+	for fed < rawTotal || rawTotal == 0 {
+		var seg [imageSegHdrLen]byte
+		if _, err := io.ReadFull(r, seg[:]); err != nil {
+			return segments, err
+		}
+		rawLen := binary.BigEndian.Uint32(seg[0:4])
+		wireLen := binary.BigEndian.Uint32(seg[4:8])
+		codec := criu.Codec(seg[8])
+		switch {
+		case !codec.Batched():
+			return segments, fmt.Errorf("cluster: image stream: bad segment codec %s", codec)
+		case rawLen == 0 && rawTotal != 0:
+			return segments, fmt.Errorf("cluster: image stream: empty segment")
+		case rawLen > maxImageSegment:
+			return segments, fmt.Errorf("cluster: image segment of %d bytes exceeds limit", rawLen)
+		case uint64(wireLen) > uint64(rawLen):
+			return segments, fmt.Errorf("cluster: image segment wire size %d exceeds raw size %d", wireLen, rawLen)
+		case fed+uint64(rawLen) > rawTotal:
+			return segments, fmt.Errorf("cluster: image segments overflow the declared %d bytes", rawTotal)
+		}
+		payload, err := readBounded(r, uint64(wireLen))
+		if err != nil {
+			return segments, err
+		}
+		raw, err := codec.Decompress(payload, int(rawLen))
+		if err != nil {
+			return segments, fmt.Errorf("cluster: image stream: %w", err)
+		}
+		if _, err := sp.Write(raw); err != nil {
+			return segments, err
+		}
+		fed += uint64(rawLen)
+		segments++
+		if rawTotal == 0 {
+			break
+		}
+	}
+	return segments, sp.Close()
 }
 
 // readBounded reads exactly n bytes, growing the buffer in bounded

@@ -2,12 +2,16 @@ package criu
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"github.com/dapper-sim/dapper/internal/compiler"
 	"github.com/dapper-sim/dapper/internal/imgcheck"
 	"github.com/dapper-sim/dapper/internal/isa"
 	"github.com/dapper-sim/dapper/internal/kernel"
 	"github.com/dapper-sim/dapper/internal/mem"
+	"github.com/dapper-sim/dapper/internal/obs"
+	"github.com/dapper-sim/dapper/internal/parallel"
 	"github.com/dapper-sim/dapper/internal/updatecheck"
 )
 
@@ -47,6 +51,19 @@ type RestoreOpts struct {
 	// the clone fan-out path, where N restores of one checkpoint share
 	// resident pages until first write.
 	Frames *kernel.FrameCache
+	// Workers bounds the restore's parallel stages: the imgcheck
+	// pre-flight sweeps and the page-frame preparation shards. Values
+	// <= 0 select runtime.NumCPU(); 1 reproduces the serial restore.
+	// Restored address-space contents are byte-identical for every
+	// worker count.
+	Workers int
+	// Obs, if set, receives restore telemetry: the restore.pages
+	// counter, restore.verify_ns / restore.install_ns histograms, and a
+	// "restore" span whose verify/install (and, when streaming, stream)
+	// children sum exactly to it. Host wall time by definition — the
+	// modeled restore cost lives in cluster's timing model. Nil disables
+	// recording.
+	Obs *obs.Registry
 }
 
 // Restore rebuilds a process from an image directory on kernel k. Lazy
@@ -62,14 +79,75 @@ func Restore(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider) (*kernel.
 
 // RestoreWith is Restore with options.
 func RestoreWith(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider, opts RestoreOpts) (*kernel.Process, error) {
+	verifyStart := time.Now()
 	// Pre-flight: a corrupt or truncated image set (shuffled pagemap,
 	// missing core, flagged entries carrying bytes, ...) must fail here
 	// with a named invariant, not mid-restore with pages installed at the
 	// wrong addresses. VerifyLink permits in_parent entries; the explicit
-	// flatten check below still owns that error.
-	if err := imgcheck.VerifyLink(dir); err != nil {
+	// flatten check below still owns that error. Streamed restores run
+	// the same invariants incrementally (imgcheck.StreamVerifier); this
+	// whole-image pass is the non-streamed fallback.
+	if err := imgcheck.VerifyLinkWith(dir, imgcheck.Opts{Workers: opts.Workers}); err != nil {
 		return nil, fmt.Errorf("criu: restore pre-flight: %w", err)
 	}
+	env, err := decodeRestoreMeta(dir, provider)
+	if err != nil {
+		return nil, err
+	}
+	if env.bin.Meta != nil {
+		// The image must actually belong to this binary: thread PCs and
+		// stack return addresses that resolve nowhere in its stack maps
+		// mean version skew, best rejected before pages install.
+		if err := imgcheck.VerifyTargetBinary(dir, env.updateBinary()); err != nil {
+			return nil, fmt.Errorf("criu: restore pre-flight: binary %q: %w", env.files.ExePath, err)
+		}
+	}
+	verifyDur := time.Since(verifyStart)
+
+	installStart := time.Now()
+	if err := env.buildAddressSpace(); err != nil {
+		return nil, err
+	}
+	ps, err := LoadPageSet(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(ps.ParentPages) > 0 {
+		return nil, fmt.Errorf("criu: image has %d unresolved in_parent pages; flatten the chain (FlattenChain) before restore", len(ps.ParentPages))
+	}
+	if len(ps.DeltaPages) > 0 {
+		return nil, fmt.Errorf("criu: image has %d unresolved XOR-delta pages; flatten the chain (FlattenChain) before restore", len(ps.DeltaPages))
+	}
+	installed := installPages(env.as, ps, opts)
+	p, err := env.buildProcess(k, dir)
+	if err != nil {
+		return nil, err
+	}
+	installDur := time.Since(installStart)
+	recordRestoreObs(opts.Obs, installed, 0, verifyDur, installDur)
+	return p, nil
+}
+
+// restoreEnv is the decoded restore metadata shared by the whole-image
+// (RestoreWith) and streaming (StreamRestorer) paths: the inventory,
+// files, and mm views, the opened binary, and the address space under
+// construction.
+type restoreEnv struct {
+	inv        *InventoryImage
+	files      *FilesImage
+	mm         *MMImage
+	bin        *compiler.Binary
+	as         *mem.AddressSpace
+	heapMapped bool
+}
+
+// decodeRestoreMeta decodes inventory/files/mm from the directory and
+// opens the binary, checking the architecture and the stack map's
+// cross-ISA alignment. Image-level pre-flights (VerifyLink, the
+// image-vs-binary skew check) are the caller's to schedule — before
+// everything for the whole-image path, interleaved with the wire for the
+// streaming path.
+func decodeRestoreMeta(dir *ImageDir, provider BinaryProvider) (*restoreEnv, error) {
 	invRaw, ok := dir.Get("inventory.img")
 	if !ok {
 		return nil, fmt.Errorf("criu: missing inventory.img")
@@ -99,14 +177,6 @@ func RestoreWith(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider, opts 
 		if err := imgcheck.VerifyMeta(bin.Meta); err != nil {
 			return nil, fmt.Errorf("criu: restore pre-flight: binary %q: %w", files.ExePath, err)
 		}
-		// And the image must actually belong to this binary: thread PCs
-		// and stack return addresses that resolve nowhere in its stack
-		// maps mean version skew, best rejected before pages install.
-		if err := imgcheck.VerifyTargetBinary(dir, &updatecheck.Binary{
-			Arch: bin.Arch, Text: bin.Text, Symbols: bin.Symbols, Meta: bin.Meta,
-		}); err != nil {
-			return nil, fmt.Errorf("criu: restore pre-flight: binary %q: %w", files.ExePath, err)
-		}
 	}
 	mmRaw, ok := dir.Get("mm.img")
 	if !ok {
@@ -116,58 +186,49 @@ func RestoreWith(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider, opts 
 	if err != nil {
 		return nil, err
 	}
+	return &restoreEnv{inv: inv, files: files, mm: mm, bin: bin}, nil
+}
 
-	as := mem.NewAddressSpace()
-	heapMapped := false
-	for _, v := range mm.VMAs {
-		if err := as.Map(mem.VMA{Start: v.Start, End: v.End, Kind: mem.VMAKind(v.Kind), Prot: v.Prot, TID: v.TID}); err != nil {
-			return nil, fmt.Errorf("criu: restore vma: %w", err)
+// updateBinary adapts the opened binary for updatecheck's image-vs-binary
+// version-skew pass.
+func (env *restoreEnv) updateBinary() *updatecheck.Binary {
+	return &updatecheck.Binary{
+		Arch: env.bin.Arch, Text: env.bin.Text, Symbols: env.bin.Symbols, Meta: env.bin.Meta,
+	}
+}
+
+// buildAddressSpace maps the VMAs and loads the executable's text (dumped
+// pages overlay it later).
+func (env *restoreEnv) buildAddressSpace() error {
+	env.as = mem.NewAddressSpace()
+	for _, v := range env.mm.VMAs {
+		if err := env.as.Map(mem.VMA{Start: v.Start, End: v.End, Kind: mem.VMAKind(v.Kind), Prot: v.Prot, TID: v.TID}); err != nil {
+			return fmt.Errorf("criu: restore vma: %w", err)
 		}
 		if mem.VMAKind(v.Kind) == mem.VMAHeap {
-			heapMapped = true
+			env.heapMapped = true
 		}
 	}
-	// Code pages load from the executable; dumped pages overlay them.
-	if err := as.WriteBytes(isa.TextBase, bin.Text); err != nil {
-		return nil, fmt.Errorf("criu: restore text: %w", err)
+	if err := env.as.WriteBytes(isa.TextBase, env.bin.Text); err != nil {
+		return fmt.Errorf("criu: restore text: %w", err)
 	}
-	ps, err := LoadPageSet(dir)
-	if err != nil {
-		return nil, err
-	}
-	if len(ps.ParentPages) > 0 {
-		return nil, fmt.Errorf("criu: image has %d unresolved in_parent pages; flatten the chain (FlattenChain) before restore", len(ps.ParentPages))
-	}
-	if len(ps.DeltaPages) > 0 {
-		return nil, fmt.Errorf("criu: image has %d unresolved XOR-delta pages; flatten the chain (FlattenChain) before restore", len(ps.DeltaPages))
-	}
-	for addr, pg := range ps.Pages {
-		if opts.Frames != nil {
-			idx := addr / mem.PageSize
-			as.InstallSharedPage(idx, opts.Frames.Frame(idx, pg))
-			continue
-		}
-		as.InstallPage(addr/mem.PageSize, pg)
-	}
-	// Zero pages normally stay demand-zero, but a post-copy restore
-	// installs a fault handler: materialize them locally so they never
-	// round-trip to the page server.
-	if len(ps.LazyPages) > 0 {
-		for addr := range ps.ZeroPages {
-			as.InstallPage(addr/mem.PageSize, nil)
-		}
-	}
+	return nil
+}
 
-	coder := compiler.CoderFor(inv.Arch)
-	p := kernel.NewRestoredProcess(inv.Arch, coder, as)
-	p.ExePath = files.ExePath
-	p.Entry = bin.Entry
-	p.ThreadExit = bin.ThreadExit
-	p.Brk = mm.Brk
-	if heapMapped {
+// buildProcess finishes the restore once every page is installed: thread
+// cores (with trap-PC nudging), mutexes, the cleared DAPPER flag, and
+// adoption by the kernel.
+func (env *restoreEnv) buildProcess(k *kernel.Kernel, dir *ImageDir) (*kernel.Process, error) {
+	coder := compiler.CoderFor(env.inv.Arch)
+	p := kernel.NewRestoredProcess(env.inv.Arch, coder, env.as)
+	p.ExePath = env.files.ExePath
+	p.Entry = env.bin.Entry
+	p.ThreadExit = env.bin.ThreadExit
+	p.Brk = env.mm.Brk
+	if env.heapMapped {
 		p.MarkHeapMapped()
 	}
-	for _, tid := range inv.TIDs {
+	for _, tid := range env.inv.TIDs {
 		raw, ok := dir.Get(CoreName(tid))
 		if !ok {
 			return nil, fmt.Errorf("criu: missing %s", CoreName(tid))
@@ -180,20 +241,98 @@ func RestoreWith(k *kernel.Kernel, dir *ImageDir, provider BinaryProvider, opts 
 			TID: core.TID, Regs: core.Regs, State: kernel.ThreadRunnable,
 			StackLow: core.StackLow, StackHigh: core.StackHigh, TLSBlock: core.TLSBlock,
 		}
-		if site, ok := bin.Meta.SiteByTrapPC(inv.Arch, t.Regs.PC); ok {
-			t.Regs.PC = site.PCs[archIdx(inv.Arch)].ResumePC
+		if site, ok := env.bin.Meta.SiteByTrapPC(env.inv.Arch, t.Regs.PC); ok {
+			t.Regs.PC = site.PCs[archIdx(env.inv.Arch)].ResumePC
 		}
 		p.AddRestoredThread(t)
 	}
-	for _, m := range inv.Mutexes {
+	for _, m := range env.inv.Mutexes {
 		p.RestoreMutex(m.ID, m.Holder, m.Recurse)
 	}
 	// Clear the transformation flag so checkers fall through.
-	if err := as.WriteU64(isa.FlagAddr, 0); err != nil {
+	if err := env.as.WriteU64(isa.FlagAddr, 0); err != nil {
 		return nil, fmt.Errorf("criu: clear flag: %w", err)
 	}
 	k.AdoptProcess(p)
 	return p, nil
+}
+
+// preparedFrame pairs a page index with its ready-to-adopt frame.
+type preparedFrame struct {
+	idx    uint64
+	frame  *mem.Page
+	shared bool
+}
+
+// installPages populates the address space from the page set, sharding
+// the expensive half — the 4K copy into each frame — over the worker
+// pool. Workers only read the page-set maps (safe concurrently) and
+// call the mutex-protected FrameCache; the AddressSpace, which is not
+// concurrency-safe, is touched exclusively by the serial adoption loop
+// on the calling goroutine. Addresses are sorted and shards contiguous,
+// so contents are byte-identical for every worker count.
+//
+// Zero pages normally stay demand-zero, but a post-copy restore installs
+// a fault handler: they fold into the same sharded install (as prepared
+// zero frames) so a zero page never round-trips to the page server.
+func installPages(as *mem.AddressSpace, ps *PageSet, opts RestoreOpts) int {
+	addrs := make([]uint64, 0, len(ps.Pages)+len(ps.ZeroPages))
+	for a := range ps.Pages {
+		addrs = append(addrs, a)
+	}
+	if len(ps.LazyPages) > 0 {
+		for a := range ps.ZeroPages {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	chunks := parallel.Chunks(len(addrs), parallel.Normalize(opts.Workers))
+	shards := make([][]preparedFrame, len(chunks))
+	_ = parallel.New(opts.Workers).ForEach(len(chunks), func(ci int) error {
+		c := chunks[ci]
+		out := make([]preparedFrame, 0, c.Hi-c.Lo)
+		for _, a := range addrs[c.Lo:c.Hi] {
+			idx := a / mem.PageSize
+			pg, hasData := ps.Pages[a]
+			if opts.Frames != nil && hasData {
+				out = append(out, preparedFrame{idx: idx, frame: opts.Frames.Frame(idx, pg), shared: true})
+				continue
+			}
+			// pg is nil for the folded-in zero pages: a prepared zero frame.
+			out = append(out, preparedFrame{idx: idx, frame: mem.PreparePage(pg)})
+		}
+		shards[ci] = out
+		return nil
+	})
+	n := 0
+	for _, shard := range shards {
+		for _, pf := range shard {
+			if pf.shared {
+				as.InstallSharedPage(pf.idx, pf.frame)
+			} else {
+				as.InstallPreparedPage(pf.idx, pf.frame)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// recordRestoreObs emits the restore telemetry: the pages counter, the
+// phase histograms, and a "restore" span whose children — stream (when
+// the image arrived through the streaming pipeline), verify, install —
+// sum exactly to it.
+func recordRestoreObs(reg *obs.Registry, pages int, stream, verify, install time.Duration) {
+	root := reg.NewSpan("restore")
+	if stream > 0 {
+		root.Child("stream").Finish(stream)
+	}
+	root.Child("verify").Finish(verify)
+	root.Child("install").Finish(install)
+	root.Finish(stream + verify + install)
+	reg.Counter("restore.pages").Add(uint64(pages))
+	reg.Histogram("restore.verify_ns").Observe(verify)
+	reg.Histogram("restore.install_ns").Observe(install)
 }
 
 func archIdx(a isa.Arch) int {

@@ -208,14 +208,15 @@ func (m *Manager) migrateOpts(job *Job, attempt int, refCycles uint64) (cluster.
 		return cluster.MigrateOpts{}, err
 	}
 	opts := cluster.MigrateOpts{
-		Workers:   job.Spec.Opts.Workers,
-		Dedup:     job.Spec.Opts.Dedup,
-		Codec:     codec,
-		Delta:     job.Spec.Opts.Delta,
-		Lazy:      job.Spec.Opts.Lazy,
-		LazyTCP:   job.Spec.Opts.Lazy,
-		Obs:       m.reg,
-		MaxPauses: maxPauses,
+		Workers:       job.Spec.Opts.Workers,
+		Dedup:         job.Spec.Opts.Dedup,
+		Codec:         codec,
+		Delta:         job.Spec.Opts.Delta,
+		Lazy:          job.Spec.Opts.Lazy,
+		LazyTCP:       job.Spec.Opts.Lazy,
+		StreamRestore: job.Spec.Opts.Stream,
+		Obs:           m.reg,
+		MaxPauses:     maxPauses,
 	}
 	if job.Spec.Opts.PreCopy {
 		// Scale the between-round run budget to the program: the library

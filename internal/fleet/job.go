@@ -65,6 +65,11 @@ type JobOpts struct {
 	Lazy bool `json:"lazy,omitempty"`
 	// PreCopy selects iterative pre-copy migration.
 	PreCopy bool `json:"precopy,omitempty"`
+	// Stream selects the streamed restore pipeline
+	// (cluster.MigrateOpts.StreamRestore): the destination decodes,
+	// verifies, and installs pages while the image is still arriving.
+	// Requires a batched codec ("none" or "flate"); vanilla jobs only.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // MigrateCodec resolves the codec name. Unknown names are an error so a
@@ -172,8 +177,17 @@ func (s *JobSpec) normalize() error {
 	if s.Opts.Lazy && s.Opts.PreCopy {
 		return fmt.Errorf("fleet: lazy and precopy are mutually exclusive")
 	}
-	if _, err := s.Opts.MigrateCodec(); err != nil {
+	codec, err := s.Opts.MigrateCodec()
+	if err != nil {
 		return err
+	}
+	if s.Opts.Stream {
+		if s.Opts.Lazy || s.Opts.PreCopy {
+			return fmt.Errorf("fleet: streamed restore applies to vanilla jobs only")
+		}
+		if !codec.Batched() {
+			return fmt.Errorf("fleet: streamed restore requires a batched codec (none or flate)")
+		}
 	}
 	switch s.TargetArch {
 	case "", "sx86", "sarm":
@@ -190,8 +204,8 @@ func (s *JobSpec) normalize() error {
 		return fmt.Errorf("fleet: clone count without a manifest")
 	}
 	if s.Manifest != "" {
-		if s.Opts.Lazy || s.Opts.PreCopy || s.Opts.Delta {
-			return fmt.Errorf("fleet: clone jobs restore a stored checkpoint; lazy/precopy/delta do not apply")
+		if s.Opts.Lazy || s.Opts.PreCopy || s.Opts.Delta || s.Opts.Stream {
+			return fmt.Errorf("fleet: clone jobs restore a stored checkpoint; lazy/precopy/delta/stream do not apply")
 		}
 		if s.SrcNode != "" {
 			return fmt.Errorf("fleet: clone jobs have no source node")
@@ -249,6 +263,7 @@ type JobView struct {
 	Codec      string        `json:"codec,omitempty"`
 	Delta      bool          `json:"delta,omitempty"`
 	Dedup      bool          `json:"dedup,omitempty"`
+	Stream     bool          `json:"stream,omitempty"`
 	Workers    int           `json:"workers,omitempty"`
 	Migration  time.Duration `json:"migration_ns,omitempty"`
 	Downtime   time.Duration `json:"downtime_ns,omitempty"`
@@ -281,6 +296,7 @@ func (j *Job) view() JobView {
 		Codec:      j.Spec.Opts.Codec,
 		Delta:      j.Spec.Opts.Delta,
 		Dedup:      j.Spec.Opts.Dedup,
+		Stream:     j.Spec.Opts.Stream,
 		Workers:    j.Spec.Opts.Workers,
 		Migration:  j.MigrationTime,
 		Downtime:   j.Downtime,

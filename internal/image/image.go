@@ -544,7 +544,47 @@ func LoadPageSet(dir *ImageDir) (*PageSet, error) {
 		return nil, err
 	}
 	pages, _ := dir.Get("pages.img")
-	ps := NewPageSet()
+	// Pre-scan the pagemap: per-class page counts size every map exactly
+	// once, and the data-page total bounds-checks pages.img up front so
+	// the install loop below never re-checks per entry.
+	var nData, nDedup, nLazy, nParent, nZero, nDelta int
+	for _, en := range pm.Entries {
+		n := int(en.NrPages)
+		switch {
+		case en.Dedup:
+			nDedup += n
+			if en.Delta {
+				nDelta += n
+			}
+		case en.Lazy:
+			nLazy += n
+		case en.InParent:
+			nParent += n
+		case en.Zero:
+			nZero += n
+		default:
+			nData += n
+			if en.Delta {
+				nDelta += n
+			}
+		}
+	}
+	if want := nData * mem.PageSize; want > len(pages) {
+		return nil, fmt.Errorf("image: pages.img truncated: pagemap describes %d data bytes, file carries %d", want, len(pages))
+	}
+	ps := &PageSet{
+		Pages:       make(map[uint64][]byte, nData+nDedup),
+		LazyPages:   make(map[uint64]bool, nLazy),
+		ParentPages: make(map[uint64]bool, nParent),
+		ZeroPages:   make(map[uint64]bool, nZero),
+		DeltaPages:  make(map[uint64]bool, nDelta),
+	}
+	// One private copy of the payload, subsliced per page: each data
+	// entry costs one bounds-checked three-index slice instead of its own
+	// allocation and copy, and mutations through the PageSet (WriteU64
+	// stays inside its page's capped slice) never reach pages.img.
+	buf := make([]byte, nData*mem.PageSize)
+	copy(buf, pages)
 	off := 0
 	for _, en := range pm.Entries {
 		for i := uint32(0); i < en.NrPages; i++ {
@@ -558,6 +598,8 @@ func LoadPageSet(dir *ImageDir) (*PageSet, error) {
 				// dedup entry an earlier data page: the delta flag names
 				// the representation of the shared bytes, and a mismatch
 				// would alias XOR-diff bytes as content (or vice versa).
+				// The copy stays: a dedup page must be independently
+				// mutable from its source.
 				src := en.DedupSrc + uint64(i)*mem.PageSize
 				srcPg, ok := ps.Pages[src]
 				if !ok || srcPg == nil {
@@ -583,12 +625,7 @@ func LoadPageSet(dir *ImageDir) (*PageSet, error) {
 				ps.ZeroPages[addr] = true
 				continue
 			}
-			if off+mem.PageSize > len(pages) {
-				return nil, fmt.Errorf("image: pages.img truncated at 0x%x", addr)
-			}
-			pg := make([]byte, mem.PageSize)
-			copy(pg, pages[off:off+mem.PageSize])
-			ps.Pages[addr] = pg
+			ps.Pages[addr] = buf[off : off+mem.PageSize : off+mem.PageSize]
 			if en.Delta {
 				ps.DeltaPages[addr] = true
 			}

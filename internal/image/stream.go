@@ -1,0 +1,254 @@
+// Streaming decode of the ImageDir wire encoding.
+//
+// ImageDir.Marshal is a concatenation of FrameFile outputs — one
+// length-delimited protobuf message per file, each carrying the name and
+// the payload. Because the layout is deterministic (field 1 name, field
+// 2 data, both always emitted), a consumer does not need the whole blob
+// to start working: the StreamSplitter parses frames incrementally from
+// whatever bytes have arrived and hands file payloads to a StreamSink as
+// they stream in. This is what lets a restore begin mapping VMAs and
+// verifying metadata — the small files sort before pages.img — while
+// page payloads are still on the wire.
+package image
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dapper-sim/dapper/internal/imgproto"
+)
+
+// StreamSink consumes an image directory file by file as it decodes.
+// Events arrive strictly in stream order: BeginFile(name, size), then
+// FileChunk zero or more times covering exactly size bytes, then
+// EndFile. Chunks alias the splitter's input buffer and are only valid
+// until the callback returns; a sink that retains bytes must copy them.
+type StreamSink interface {
+	// BeginFile announces the next file and its exact payload size.
+	BeginFile(name string, size int) error
+	// FileChunk delivers the next run of payload bytes.
+	FileChunk(p []byte) error
+	// EndFile marks the payload complete.
+	EndFile() error
+}
+
+// Splitter states: parsing a frame header, or streaming payload bytes.
+const (
+	splitHeader = iota
+	splitData
+)
+
+// maxStreamName bounds a frame's file name so a corrupt header cannot
+// make the splitter buffer unbounded garbage while "waiting for the
+// name to complete". Real image names are tens of bytes.
+const maxStreamName = 4096
+
+// StreamSplitter incrementally parses the ImageDir wire encoding
+// (concatenated FrameFile frames) and feeds a StreamSink. Write may be
+// called with arbitrarily fragmented input — segment by segment as the
+// transport decompresses them; Close verifies the stream ended on a
+// frame boundary.
+type StreamSplitter struct {
+	sink  StreamSink
+	state int
+	// hdr accumulates header bytes (outer tag+len, name field, data
+	// field tag+len) until they parse; payload bytes never land here.
+	hdr []byte
+	// remaining counts payload bytes still owed to the current file.
+	remaining int
+	err       error
+}
+
+// NewStreamSplitter returns a splitter feeding sink.
+func NewStreamSplitter(sink StreamSink) *StreamSplitter {
+	return &StreamSplitter{sink: sink}
+}
+
+// errNeedMore signals an incomplete header; more input will resolve it.
+var errNeedMore = errors.New("need more bytes")
+
+// Write implements io.Writer: it consumes p completely or fails. After
+// an error the splitter is poisoned and every later call returns it.
+func (s *StreamSplitter) Write(p []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	n := len(p)
+	for len(p) > 0 {
+		if s.state == splitData {
+			take := len(p)
+			if take > s.remaining {
+				take = s.remaining
+			}
+			if err := s.sink.FileChunk(p[:take]); err != nil {
+				s.err = err
+				return 0, err
+			}
+			s.remaining -= take
+			p = p[take:]
+			if s.remaining == 0 {
+				if err := s.sink.EndFile(); err != nil {
+					s.err = err
+					return 0, err
+				}
+				s.state = splitHeader
+			}
+			continue
+		}
+		// Header bytes are tiny (tag/length varints plus the name);
+		// buffer until the full prefix through the data length parses.
+		s.hdr = append(s.hdr, p...)
+		p = nil
+		name, dataLen, used, err := parseFrameHeader(s.hdr)
+		if err == errNeedMore {
+			return n, nil
+		}
+		if err != nil {
+			s.err = err
+			return 0, err
+		}
+		// Re-queue whatever followed the header and hand off to the
+		// payload state.
+		p = s.hdr[used:]
+		s.hdr = nil
+		s.state = splitData
+		s.remaining = dataLen
+		if err := s.sink.BeginFile(name, dataLen); err != nil {
+			s.err = err
+			return 0, err
+		}
+		if s.remaining == 0 {
+			if err := s.sink.EndFile(); err != nil {
+				s.err = err
+				return 0, err
+			}
+			s.state = splitHeader
+		}
+	}
+	return n, nil
+}
+
+// Close verifies the stream ended exactly on a frame boundary.
+func (s *StreamSplitter) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.state == splitData {
+		return fmt.Errorf("image: stream truncated: %d payload bytes missing", s.remaining)
+	}
+	if len(s.hdr) > 0 {
+		return fmt.Errorf("image: stream truncated inside a frame header (%d bytes)", len(s.hdr))
+	}
+	return nil
+}
+
+// parseFrameHeader parses one FrameFile prefix — outer tag and length,
+// the name field, and the data field's tag and length — returning the
+// file name, the payload size, and how many of b's bytes the header
+// consumed. errNeedMore means b is a valid but incomplete prefix.
+// FrameFile's layout is fixed (Encoder always emits both fields, in
+// order), so anything else is a corrupt stream, not a variant encoding.
+func parseFrameHeader(b []byte) (name string, dataLen, used int, err error) {
+	const (
+		outerTag = 1<<3 | uint64(imgproto.WireBytes) // ImageDir entry
+		nameTag  = 1<<3 | uint64(imgproto.WireBytes) // field 1: name
+		dataTag  = 2<<3 | uint64(imgproto.WireBytes) // field 2: payload
+	)
+	off := 0
+	next := func() (uint64, error) {
+		v, n, uerr := imgproto.Uvarint(b[off:])
+		if uerr != nil {
+			if errors.Is(uerr, imgproto.ErrTruncated) {
+				return 0, errNeedMore
+			}
+			return 0, uerr
+		}
+		off += n
+		return v, nil
+	}
+	tag, err := next()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if tag != outerTag {
+		return "", 0, 0, fmt.Errorf("image: stream frame tag 0x%x, want directory entry", tag)
+	}
+	outerLen, err := next()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	innerStart := off
+	ntag, err := next()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if ntag != nameTag {
+		return "", 0, 0, fmt.Errorf("image: stream frame inner tag 0x%x, want name field", ntag)
+	}
+	nameLen, err := next()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if nameLen > maxStreamName {
+		return "", 0, 0, fmt.Errorf("image: stream frame name of %d bytes exceeds limit", nameLen)
+	}
+	if off+int(nameLen) > len(b) {
+		return "", 0, 0, errNeedMore
+	}
+	name = string(b[off : off+int(nameLen)])
+	off += int(nameLen)
+	dtag, err := next()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if dtag != dataTag {
+		return "", 0, 0, fmt.Errorf("image: stream frame %q: inner tag 0x%x, want data field", name, dtag)
+	}
+	dlen, err := next()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	// The outer length must cover the inner fields exactly: name header
+	// and bytes, data header, data bytes — no slack, no overrun.
+	innerHdr := off - innerStart
+	if uint64(innerHdr)+dlen != outerLen {
+		return "", 0, 0, fmt.Errorf("image: stream frame %q: outer length %d != inner %d+%d", name, outerLen, innerHdr, dlen)
+	}
+	return name, int(dlen), off, nil
+}
+
+// DirSink is the trivial StreamSink: it rebuilds the ImageDir in memory.
+// Splitting a Marshal blob through it reproduces UnmarshalImageDir.
+type DirSink struct {
+	dir  *ImageDir
+	name string
+	buf  []byte
+}
+
+// NewDirSink returns a sink accumulating into a fresh directory.
+func NewDirSink() *DirSink { return &DirSink{dir: NewImageDir()} }
+
+// Dir returns the directory built so far.
+func (d *DirSink) Dir() *ImageDir { return d.dir }
+
+// BeginFile implements StreamSink.
+func (d *DirSink) BeginFile(name string, size int) error {
+	d.name = name
+	d.buf = make([]byte, 0, size)
+	return nil
+}
+
+// FileChunk implements StreamSink.
+func (d *DirSink) FileChunk(p []byte) error {
+	d.buf = append(d.buf, p...)
+	return nil
+}
+
+// EndFile implements StreamSink.
+func (d *DirSink) EndFile() error {
+	d.dir.Put(d.name, d.buf)
+	d.name, d.buf = "", nil
+	return nil
+}
+
+var _ StreamSink = (*DirSink)(nil)

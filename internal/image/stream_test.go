@@ -1,0 +1,159 @@
+package image_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/dapper-sim/dapper/internal/image"
+)
+
+// testDir builds a directory whose files exercise the framing corners:
+// empty data, single byte, page-sized, multi-chunk, and names that sort
+// around pages.img.
+func testDir() *image.ImageDir {
+	d := image.NewImageDir()
+	d.Put("core-0.img", bytes.Repeat([]byte{0xab}, 300))
+	d.Put("files.img", []byte{1})
+	d.Put("inventory.img", nil)
+	d.Put("mm.img", bytes.Repeat([]byte{7}, 4096))
+	d.Put("pagemap.img", []byte{9, 9, 9})
+	d.Put("pages.img", bytes.Repeat([]byte{0xcd}, 3*4096+17))
+	return d
+}
+
+// splitInto feeds blob to a fresh DirSink splitter in the given chunk
+// sizes (the final chunk takes the remainder) and returns the rebuilt
+// directory.
+func splitInto(t *testing.T, blob []byte, sizes func(remaining int) int) *image.ImageDir {
+	t.Helper()
+	sink := image.NewDirSink()
+	sp := image.NewStreamSplitter(sink)
+	for off := 0; off < len(blob); {
+		n := sizes(len(blob) - off)
+		if n <= 0 || n > len(blob)-off {
+			n = len(blob) - off
+		}
+		if _, err := sp.Write(blob[off : off+n]); err != nil {
+			t.Fatalf("Write at offset %d: %v", off, err)
+		}
+		off += n
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return sink.Dir()
+}
+
+// TestStreamSplitterRoundTrip: splitting Marshal output must rebuild the
+// identical directory regardless of how the byte stream is fragmented —
+// whole-blob, byte-at-a-time, and random chunk sizes all land on the
+// same files.
+func TestStreamSplitterRoundTrip(t *testing.T) {
+	want := testDir().Marshal()
+	rng := rand.New(rand.NewSource(7))
+	cases := map[string]func(remaining int) int{
+		"whole":  func(r int) int { return r },
+		"byte":   func(r int) int { return 1 },
+		"random": func(r int) int { return 1 + rng.Intn(5000) },
+	}
+	for name, sizes := range cases {
+		got := splitInto(t, want, sizes)
+		if !bytes.Equal(got.Marshal(), want) {
+			t.Errorf("%s: rebuilt directory differs from source", name)
+		}
+	}
+}
+
+// TestStreamSplitterOrder: the sink must observe files in marshaled
+// (sorted) order with metadata strictly before pages.img — the property
+// the streaming restore pipeline is built on.
+func TestStreamSplitterOrder(t *testing.T) {
+	d := testDir()
+	sink := image.NewDirSink()
+	sp := image.NewStreamSplitter(sink)
+	if _, err := sp.Write(d.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names := sink.Dir().Names()
+	if names[len(names)-1] != "pages.img" {
+		t.Fatalf("pages.img is not last in %v", names)
+	}
+}
+
+// TestStreamSplitterEmptyStream: zero input is a complete (empty) image.
+func TestStreamSplitterEmptyStream(t *testing.T) {
+	sink := image.NewDirSink()
+	sp := image.NewStreamSplitter(sink)
+	if err := sp.Close(); err != nil {
+		t.Fatalf("Close on empty stream: %v", err)
+	}
+	if n := len(sink.Dir().Names()); n != 0 {
+		t.Fatalf("empty stream produced %d files", n)
+	}
+}
+
+// TestStreamSplitterTruncated: ending the stream mid-header or
+// mid-payload must fail Close, never silently drop the partial file.
+func TestStreamSplitterTruncated(t *testing.T) {
+	blob := testDir().Marshal()
+	for _, cut := range []int{1, 5, len(blob) / 2, len(blob) - 1} {
+		sp := image.NewStreamSplitter(image.NewDirSink())
+		if _, err := sp.Write(blob[:cut]); err != nil {
+			continue // already detected — fine
+		}
+		if err := sp.Close(); err == nil {
+			t.Errorf("cut=%d: Close accepted a truncated stream", cut)
+		}
+	}
+}
+
+// TestStreamSplitterMalformed: garbage framing must error instead of
+// being interpreted as a file.
+func TestStreamSplitterMalformed(t *testing.T) {
+	sp := image.NewStreamSplitter(image.NewDirSink())
+	_, werr := sp.Write(bytes.Repeat([]byte{0xff}, 64))
+	cerr := sp.Close()
+	if werr == nil && cerr == nil {
+		t.Fatal("garbage stream accepted")
+	}
+}
+
+// TestStreamSplitterPoisoned: after an error every later Write fails.
+func TestStreamSplitterPoisoned(t *testing.T) {
+	sp := image.NewStreamSplitter(image.NewDirSink())
+	if _, err := sp.Write(bytes.Repeat([]byte{0xff}, 64)); err == nil {
+		t.Skip("first write did not error on this framing; poisoning not reachable")
+	}
+	if _, err := sp.Write([]byte{1}); err == nil {
+		t.Fatal("poisoned splitter accepted another write")
+	}
+}
+
+type failErr struct{}
+
+func (e *failErr) Error() string { return "sink refused" }
+
+// TestStreamSplitterSinkError: a sink error surfaces from Write.
+func TestStreamSplitterSinkError(t *testing.T) {
+	blob := testDir().Marshal()
+	sp := image.NewStreamSplitter(refuseSink{inner: image.NewDirSink()})
+	_, werr := sp.Write(blob)
+	if werr == nil {
+		t.Fatal("sink error was swallowed")
+	}
+}
+
+type refuseSink struct{ inner *image.DirSink }
+
+func (r refuseSink) BeginFile(name string, size int) error {
+	if name == "pages.img" {
+		return &failErr{}
+	}
+	return r.inner.BeginFile(name, size)
+}
+func (r refuseSink) FileChunk(p []byte) error { return r.inner.FileChunk(p) }
+func (r refuseSink) EndFile() error           { return r.inner.EndFile() }

@@ -212,6 +212,16 @@ func sweep(r *Report, workers, n int, fn func(c parallel.Chunk, sr *Report)) {
 // resolution pass and the byte accounting — which need the whole
 // pagemap — stay serial.
 func checkStructure(d *decoded, r *Report, workers int) {
+	checkStructureMeta(d, r, workers)
+	checkPagesBytes(len(d.pages), d.pm, r)
+	checkDedupResolution(d, r)
+}
+
+// checkStructureMeta is the metadata half of checkStructure — everything
+// that needs only mm.img and pagemap.img, not the page payload. The
+// streaming verifier runs it the moment pages.img is announced, while
+// payload bytes are still on the wire.
+func checkStructureMeta(d *decoded, r *Report, workers int) {
 	sweep(r, workers, len(d.mm.VMAs), func(c parallel.Chunk, sr *Report) {
 		for i := c.Lo; i < c.Hi; i++ {
 			v := d.mm.VMAs[i]
@@ -267,19 +277,24 @@ func checkStructure(d *decoded, r *Report, workers int) {
 			}
 		}
 	})
-	// Delta entries carry bytes (the XOR payload is a full page), so they
-	// count toward pages.img exactly like plain data entries.
+}
+
+// checkPagesBytes is the pages.img byte accounting. Delta entries carry
+// bytes (the XOR payload is a full page), so they count exactly like
+// plain data entries. pagesLen may be the in-memory file's size or — in
+// the streaming pre-flight — the size the wire announced before any
+// payload byte arrived.
+func checkPagesBytes(pagesLen int, pm *image.PagemapImage, r *Report) {
 	dataPages := 0
-	for _, en := range d.pm.Entries {
+	for _, en := range pm.Entries {
 		if !en.Lazy && !en.InParent && !en.Zero && !en.Dedup {
 			dataPages += int(en.NrPages)
 		}
 	}
-	if want := dataPages * mem.PageSize; len(d.pages) != want {
+	if want := dataPages * mem.PageSize; pagesLen != want {
 		r.add(InvPagesBytes, "pages.img carries %d bytes, pagemap describes %d data+delta pages (%d bytes) — byte-free flags must carry no bytes",
-			len(d.pages), dataPages, want)
+			pagesLen, dataPages, want)
 	}
-	checkDedupResolution(d, r)
 }
 
 // checkDedupResolution verifies every dedup run resolves to a

@@ -394,6 +394,31 @@ func (as *AddressSpace) InstallPage(idx uint64, data []byte) {
 	}
 }
 
+// PreparePage builds a private page frame off to the side: data (up to
+// PageSize bytes; nil yields a zero page) is copied into a fresh frame
+// with the Version an InstallPage would stamp. It touches no
+// address-space state, so restore workers prepare frames concurrently
+// and a single owner adopts them with InstallPreparedPage.
+func PreparePage(data []byte) *Page {
+	p := &Page{Version: 1}
+	copy(p.Data[:], data)
+	return p
+}
+
+// InstallPreparedPage adopts a frame built by PreparePage as a private
+// resident page, skipping the copy InstallPage would redo. Like every
+// other AddressSpace method it is not concurrency-safe: only the
+// goroutine owning the space may call it. The caller must not write
+// through the frame after installing it.
+func (as *AddressSpace) InstallPreparedPage(idx uint64, p *Page) {
+	as.markDirty(idx)
+	as.pages[idx] = p
+	delete(as.cow, idx)
+	if as.lastIdx == idx {
+		as.lastPage = p
+	}
+}
+
 // InstallSharedPage installs a page frame owned jointly with other
 // address spaces (clone fan-out). The space serves reads from the shared
 // frame and must never mutate it: the first write through pageForWrite
